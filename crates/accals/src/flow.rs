@@ -1,0 +1,527 @@
+use crate::conflict::find_solve_conflicts;
+use crate::indep::select_indep_lacs;
+use crate::topset::obtain_top_set;
+use crate::trace::RoundTrace;
+use crate::AccalsConfig;
+use aig::Aig;
+use bitsim::{simulate, Patterns};
+use errmetrics::{error, ErrorEval};
+use estimate::BatchEstimator;
+use lac::{apply_all, ApplyReport, Lac, ScoredLac};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// The AccALS synthesis engine. Construct with a configuration, then
+/// call [`Accals::synthesize`].
+#[derive(Debug, Clone)]
+pub struct Accals {
+    cfg: AccalsConfig,
+}
+
+/// The outcome of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The final approximate circuit (error within the bound).
+    pub aig: Aig,
+    /// The measured error of `aig` on the shared sample.
+    pub error: f64,
+    /// Per-round diagnostics.
+    pub rounds: Vec<RoundTrace>,
+    /// Wall-clock synthesis time.
+    pub runtime: Duration,
+    /// Gate count of the input circuit.
+    pub initial_ands: usize,
+    /// Number of simulation patterns used.
+    pub n_patterns: usize,
+}
+
+impl SynthesisResult {
+    /// Fraction of multi-LAC rounds in which the independent set won the
+    /// race against the random set (the `L_indp` ratio of Fig. 4).
+    /// Returns `None` if no multi-LAC round was run.
+    pub fn lindp_ratio(&self) -> Option<f64> {
+        let multi: Vec<&RoundTrace> = self
+            .rounds
+            .iter()
+            .filter(|r| !r.single_mode && !r.reverted)
+            .collect();
+        if multi.is_empty() {
+            None
+        } else {
+            Some(multi.iter().filter(|r| r.chose_indp).count() as f64 / multi.len() as f64)
+        }
+    }
+
+    /// Total LACs applied across all rounds.
+    pub fn total_applied(&self) -> usize {
+        self.rounds.iter().map(|r| r.applied).sum()
+    }
+
+    /// A one-paragraph human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} -> {} AND gates ({:.1}%), error {:.6}, {} LACs over {}              rounds in {:.2?}{}",
+            self.aig.name(),
+            self.initial_ands,
+            self.aig.n_ands(),
+            100.0 * self.aig.n_ands() as f64 / self.initial_ands.max(1) as f64,
+            self.error,
+            self.total_applied(),
+            self.rounds.len(),
+            self.runtime,
+            match self.lindp_ratio() {
+                Some(r) => format!(", L_indp ratio {r:.2}"),
+                None => String::new(),
+            }
+        )
+    }
+
+    /// Serializes the per-round trace as CSV (header + one line per
+    /// round), for offline analysis of a synthesis run.
+    pub fn trace_csv(&self) -> String {
+        let mut s = String::from(
+            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,             applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after
+",
+        );
+        for t in &self.rounds {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}
+",
+                t.round,
+                t.single_mode,
+                t.n_candidates,
+                t.r_top,
+                t.n_sol,
+                t.n_indp,
+                t.n_rand,
+                t.chose_indp,
+                t.applied,
+                t.dropped_cycle,
+                t.reverted,
+                t.e_before,
+                t.e_after,
+                t.e_est,
+                t.n_ands_after
+            ));
+        }
+        s
+    }
+}
+
+impl Accals {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configuration parameter is out of range.
+    pub fn new(cfg: AccalsConfig) -> Self {
+        assert!(cfg.error_bound > 0.0, "error bound must be positive");
+        assert!((0.0..=1.0).contains(&cfg.l_e), "l_e must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&cfg.l_d), "l_d must be in [0, 1]");
+        assert!(cfg.lambda > 0.0, "lambda must be positive");
+        Accals { cfg }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AccalsConfig {
+        &self.cfg
+    }
+
+    /// Runs Algorithm 1 on `golden`, returning an approximate circuit
+    /// whose measured error does not exceed the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `golden` has no outputs or is cyclic.
+    pub fn synthesize(&self, golden: &Aig) -> SynthesisResult {
+        let pats = Patterns::for_circuit(
+            golden.n_pis(),
+            self.cfg.max_exhaustive,
+            self.cfg.n_random_patterns,
+            self.cfg.seed,
+        );
+        self.synthesize_with_patterns(golden, &pats)
+    }
+
+    /// Like [`Accals::synthesize`], but with a caller-provided input
+    /// pattern set — e.g. [`bitsim::Patterns::biased`] for a non-uniform
+    /// input distribution, or application traces packed into patterns.
+    /// All error measurements are taken over this distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pats` does not cover `golden.n_pis()` inputs.
+    pub fn synthesize_with_patterns(&self, golden: &Aig, pats: &Patterns) -> SynthesisResult {
+        let cfg = &self.cfg;
+        let start = Instant::now();
+        let golden_sigs = simulate(golden, &pats).output_sigs(golden);
+        let mut eval = ErrorEval::new(cfg.metric, &golden_sigs, pats.n_patterns());
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_cafe);
+        let initial_ands = golden.n_ands();
+        let r_ref = cfg.r_ref.resolve(initial_ands, 0);
+        let r_sel = cfg.r_sel.resolve(initial_ands, 1);
+
+        let mut current = golden.clone();
+        let mut e = 0.0_f64;
+        let mut rounds: Vec<RoundTrace> = Vec::new();
+        let mut force_single = false;
+        let mut rounds_since_shrink = 0usize;
+
+        for round in 0..cfg.max_rounds {
+            let sim = simulate(&current, &pats);
+            eval.rebase(&sim.output_sigs(&current));
+            let cands = lac::generate_candidates(&current, &sim, &cfg.candidates);
+            if cands.is_empty() {
+                break;
+            }
+            let mut estimator = BatchEstimator::new(&current, &sim, &eval);
+            let mut scored = estimator.score_all(&cands);
+            // A LAC must reduce hardware cost; changes that cost more
+            // nodes than their MFFC frees are not LACs at all.
+            scored.retain(|s| s.gain > 0);
+            if scored.is_empty() {
+                break;
+            }
+
+            let single_mode = e > cfg.l_e * cfg.error_bound || force_single;
+            let mut trace = if single_mode {
+                self.single_round(&current, &golden_sigs, &pats, scored, e)
+            } else {
+                self.multi_round(
+                    &current,
+                    &golden_sigs,
+                    &pats,
+                    scored,
+                    e,
+                    r_ref,
+                    r_sel,
+                    &mut rng,
+                )
+            };
+            let (next, trace_data) = trace.take().expect("round produced a result");
+            let mut t = trace_data;
+            t.round = round;
+            let e_after = t.e_after;
+            let applied = t.applied;
+            let shrunk = next.n_ands() < current.n_ands();
+            rounds.push(t);
+
+            if e_after > cfg.error_bound {
+                // The new circuit violates the bound: Algorithm 1 stops
+                // and returns the previous circuit.
+                break;
+            }
+            // The flow exists to reduce area: error-only movement is
+            // tolerated briefly (positive sets can lower the error), but
+            // a long stretch without any shrink means the candidate pool
+            // is just churning masked nodes.
+            if shrunk {
+                rounds_since_shrink = 0;
+            } else {
+                rounds_since_shrink += 1;
+                if rounds_since_shrink >= 30 {
+                    break;
+                }
+            }
+            let progress = applied > 0 && (shrunk || e_after != e);
+            if !progress {
+                if single_mode {
+                    // Even single-LAC retry found nothing that moves the
+                    // circuit: the flow has converged.
+                    break;
+                }
+                // Discard the fruitless multi-LAC result and retry with
+                // single selection next round.
+                force_single = true;
+                continue;
+            }
+            force_single = false;
+            current = next;
+            e = e_after;
+        }
+
+        SynthesisResult {
+            aig: current,
+            error: e,
+            rounds,
+            runtime: start.elapsed(),
+            initial_ands,
+            n_patterns: pats.n_patterns(),
+        }
+    }
+
+    /// Applies `lacs` to a copy of `base`, sweeps, and measures the
+    /// error against the golden signatures.
+    fn apply_and_measure(
+        &self,
+        base: &Aig,
+        lacs: &[ScoredLac],
+        golden_sigs: &[Vec<u64>],
+        pats: &Patterns,
+    ) -> (Aig, f64, ApplyReport) {
+        let mut copy = base.clone();
+        let plain: Vec<Lac> = lacs.iter().map(|s| s.lac).collect();
+        let report = apply_all(&mut copy, &plain);
+        copy.cleanup().expect("editing keeps the graph acyclic");
+        let sim = simulate(&copy, pats);
+        let e = error(
+            self.cfg.metric,
+            golden_sigs,
+            &sim.output_sigs(&copy),
+            pats.n_patterns(),
+        );
+        (copy, e, report)
+    }
+
+    fn single_round(
+        &self,
+        current: &Aig,
+        golden_sigs: &[Vec<u64>],
+        pats: &Patterns,
+        scored: Vec<ScoredLac>,
+        e: f64,
+    ) -> Option<(Aig, RoundTrace)> {
+        let n_candidates = scored.len();
+        let mut top = scored;
+        top.sort_by(|a, b| {
+            a.delta_e
+                .partial_cmp(&b.delta_e)
+                .expect("ΔE is never NaN")
+                .then(b.gain.cmp(&a.gain))
+                .then(a.lac.tn.cmp(&b.lac.tn))
+        });
+        // Try candidates in order until one makes progress (area shrinks
+        // or the error moves). A candidate that overshoots the bound is
+        // terminal: Algorithm 1 stops there.
+        let mut last: Option<(ScoredLac, Aig, f64, lac::ApplyReport)> = None;
+        for best in top.into_iter().take(64) {
+            let (next, e_after, report) =
+                self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
+            let progress = next.n_ands() < current.n_ands() || e_after != e;
+            let terminal = e_after > self.cfg.error_bound;
+            let done = progress || terminal;
+            last = Some((best, next, e_after, report));
+            if done {
+                break;
+            }
+        }
+        let (best, next, e_after, report) = last?;
+        let n_ands_after = next.n_ands();
+        Some((
+            next,
+            RoundTrace {
+                round: 0,
+                single_mode: true,
+                n_candidates,
+                r_top: 1,
+                n_sol: 1,
+                n_indp: 1,
+                n_rand: 0,
+                chose_indp: false,
+                applied: report.applied,
+                dropped_cycle: report.dropped_cycle,
+                reverted: false,
+                e_before: e,
+                e_after,
+                e_est: e + best.delta_e,
+                n_ands_after,
+            },
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn multi_round(
+        &self,
+        current: &Aig,
+        golden_sigs: &[Vec<u64>],
+        pats: &Patterns,
+        scored: Vec<ScoredLac>,
+        e: f64,
+        r_ref: usize,
+        r_sel: usize,
+        rng: &mut StdRng,
+    ) -> Option<(Aig, RoundTrace)> {
+        let cfg = &self.cfg;
+        let n_candidates = scored.len();
+        let l_top = obtain_top_set(scored, e, cfg.error_bound, r_ref);
+        let l_sol = find_solve_conflicts(&l_top);
+        let l_indp = select_indep_lacs(
+            current,
+            &l_sol,
+            e,
+            cfg.error_bound,
+            r_sel,
+            cfg.t_b,
+            cfg.lambda,
+            cfg.mis,
+        );
+        // SelectRandomLACs: an equally sized uniform sample from L_sol.
+        let l_rand: Vec<ScoredLac> = if cfg.race_random {
+            l_sol.choose_multiple(rng, l_indp.len()).cloned().collect()
+        } else {
+            Vec::new()
+        };
+
+        let (g1, e1, rep1) = self.apply_and_measure(current, &l_indp, golden_sigs, pats);
+        let (mut next, mut e_after, mut report, mut chose_indp, mut chosen) =
+            (g1, e1, rep1, true, &l_indp);
+        if cfg.race_random {
+            let (g2, e2, rep2) = self.apply_and_measure(current, &l_rand, golden_sigs, pats);
+            chose_indp = e_after < e2 || (e_after == e2 && l_indp.len() >= l_rand.len());
+            if !chose_indp {
+                next = g2;
+                e_after = e2;
+                report = rep2;
+                chosen = &l_rand;
+            }
+        }
+        let mut e_est = e + chosen.iter().map(|s| s.delta_e).sum::<f64>();
+
+        // Improvement technique 2: detect a negative LAC set and revert
+        // to applying only the single best LAC.
+        let mut reverted = false;
+        if e_after > 0.0 {
+            let beta = (e_after - e_est) / e_after;
+            if beta > cfg.l_d {
+                let best = l_top[0].clone();
+                let (g, eb, rep) =
+                    self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
+                next = g;
+                e_after = eb;
+                report = rep;
+                e_est = e + best.delta_e;
+                reverted = true;
+            }
+        }
+
+        let n_ands_after = next.n_ands();
+        Some((
+            next,
+            RoundTrace {
+                round: 0,
+                single_mode: false,
+                n_candidates,
+                r_top: l_top.len(),
+                n_sol: l_sol.len(),
+                n_indp: l_indp.len(),
+                n_rand: l_rand.len(),
+                chose_indp,
+                applied: report.applied,
+                dropped_cycle: report.dropped_cycle,
+                reverted,
+                e_before: e,
+                e_after,
+                e_est,
+                n_ands_after,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SizeParam;
+    use errmetrics::MetricKind;
+
+    fn quick_cfg(metric: MetricKind, bound: f64) -> AccalsConfig {
+        let mut cfg = AccalsConfig::new(metric, bound);
+        cfg.r_ref = SizeParam::Fixed(40);
+        cfg.r_sel = SizeParam::Fixed(8);
+        cfg
+    }
+
+    #[test]
+    fn synthesis_respects_er_bound_and_reduces_area() {
+        let golden = benchgen::multipliers::array_multiplier(4);
+        let result = Accals::new(quick_cfg(MetricKind::Er, 0.05)).synthesize(&golden);
+        assert!(result.error <= 0.05, "error {} over bound", result.error);
+        assert!(
+            result.aig.n_ands() < golden.n_ands(),
+            "area must shrink: {} -> {}",
+            golden.n_ands(),
+            result.aig.n_ands()
+        );
+        assert!(!result.rounds.is_empty());
+        // Verify the reported error against an independent measurement.
+        let pats = Patterns::for_circuit(golden.n_pis(), 1 << 13, 1 << 13, 0xACC_A15);
+        let measured = errmetrics::measure(MetricKind::Er, &golden, &result.aig, &pats);
+        assert!((measured - result.error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthesis_respects_nmed_bound() {
+        let golden = benchgen::multipliers::array_multiplier(4);
+        let bound = 0.002;
+        let result = Accals::new(quick_cfg(MetricKind::Nmed, bound)).synthesize(&golden);
+        assert!(result.error <= bound);
+        assert!(result.aig.n_ands() < golden.n_ands());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let golden = benchgen::adders::ksa(8);
+        let a = Accals::new(quick_cfg(MetricKind::Er, 0.1)).synthesize(&golden);
+        let b = Accals::new(quick_cfg(MetricKind::Er, 0.1)).synthesize(&golden);
+        assert_eq!(a.error, b.error);
+        assert_eq!(a.aig.n_ands(), b.aig.n_ands());
+        assert_eq!(a.rounds.len(), b.rounds.len());
+    }
+
+    #[test]
+    fn io_shape_is_preserved() {
+        let golden = benchgen::adders::rca(6);
+        let result = Accals::new(quick_cfg(MetricKind::Er, 0.1)).synthesize(&golden);
+        assert_eq!(result.aig.n_pis(), golden.n_pis());
+        assert_eq!(result.aig.n_pos(), golden.n_pos());
+    }
+
+    #[test]
+    fn larger_bound_allows_more_reduction() {
+        let golden = benchgen::multipliers::wallace_multiplier(4);
+        let tight = Accals::new(quick_cfg(MetricKind::Er, 0.005)).synthesize(&golden);
+        let loose = Accals::new(quick_cfg(MetricKind::Er, 0.2)).synthesize(&golden);
+        assert!(
+            loose.aig.n_ands() <= tight.aig.n_ands(),
+            "loose bound should reduce at least as much: {} vs {}",
+            loose.aig.n_ands(),
+            tight.aig.n_ands()
+        );
+    }
+
+    #[test]
+    fn summary_and_trace_csv_are_well_formed() {
+        let golden = benchgen::multipliers::array_multiplier(4);
+        let result = Accals::new(quick_cfg(MetricKind::Er, 0.05)).synthesize(&golden);
+        let summary = result.summary();
+        assert!(summary.contains("AND gates"));
+        assert!(summary.contains("rounds"));
+        let csv = result.trace_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), result.rounds.len() + 1);
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged CSV row: {l}");
+        }
+    }
+
+    #[test]
+    fn trace_accounting_is_consistent() {
+        let golden = benchgen::adders::cla(8, 4);
+        let result = Accals::new(quick_cfg(MetricKind::Er, 0.05)).synthesize(&golden);
+        for t in &result.rounds {
+            assert!(t.n_sol <= t.r_top);
+            assert!(t.n_indp <= t.n_sol);
+            assert!(t.applied + t.dropped_cycle <= t.n_indp.max(t.n_rand).max(1));
+            assert!(t.e_after >= 0.0);
+        }
+        // Error increases weakly along accepted rounds.
+        for w in result.rounds.windows(2) {
+            if w[1].e_after <= result.error {
+                assert!(w[1].e_before >= w[0].e_before - 1e-12);
+            }
+        }
+    }
+}

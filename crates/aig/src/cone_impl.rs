@@ -1,0 +1,251 @@
+use crate::graph::Aig;
+use crate::node::{Node, NodeId};
+use crate::topo::Fanouts;
+use std::collections::VecDeque;
+
+/// A fixed-size bitset over node indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitMask {
+    /// Creates an all-zero mask covering `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitMask {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The number of bits the mask covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// The number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The number of bits set in both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different lengths.
+    pub fn intersection_count(&self, other: &BitMask) -> usize {
+        assert_eq!(self.len, other.len, "mask lengths must match");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Computes the transitive fanout of `n` (including `n` itself) as a
+/// bitmask over node indices.
+pub fn tfo_mask(aig: &Aig, fanouts: &Fanouts, n: NodeId) -> BitMask {
+    let mut mask = BitMask::zeros(aig.n_nodes());
+    let mut queue = VecDeque::from([n]);
+    mask.set(n.index());
+    while let Some(m) = queue.pop_front() {
+        for &f in fanouts.of(m) {
+            if !mask.get(f.index()) {
+                mask.set(f.index());
+                queue.push_back(f);
+            }
+        }
+    }
+    mask
+}
+
+/// Computes the transitive fanin of `n` (including `n` itself) as a
+/// bitmask over node indices.
+pub fn tfi_mask(aig: &Aig, n: NodeId) -> BitMask {
+    let mut mask = BitMask::zeros(aig.n_nodes());
+    let mut stack = vec![n];
+    mask.set(n.index());
+    while let Some(m) = stack.pop() {
+        if let Node::And(a, b) = aig.node(m) {
+            for f in [a.node(), b.node()] {
+                if !mask.get(f.index()) {
+                    mask.set(f.index());
+                    stack.push(f);
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Computes, via BFS over fanout edges, the shortest forward path length
+/// from `src` to every node. `None` means unreachable; `src` itself maps
+/// to `Some(0)`.
+pub fn shortest_forward_distances(
+    aig: &Aig,
+    fanouts: &Fanouts,
+    src: NodeId,
+) -> Vec<Option<u32>> {
+    let mut dist = vec![None; aig.n_nodes()];
+    dist[src.index()] = Some(0);
+    let mut queue = VecDeque::from([src]);
+    while let Some(m) = queue.pop_front() {
+        let d = dist[m.index()].expect("queued nodes have distances");
+        for &f in fanouts.of(m) {
+            if dist[f.index()].is_none() {
+                dist[f.index()] = Some(d + 1);
+                queue.push_back(f);
+            }
+        }
+    }
+    dist
+}
+
+/// Size of the maximum fanout-free cone (MFFC) of `n`: the number of AND
+/// nodes, including `n`, that would become dangling if `n` were removed.
+///
+/// This is the standard area-saving estimate for deleting a node.
+pub fn mffc_size(aig: &Aig, fanouts: &Fanouts, n: NodeId) -> usize {
+    if !aig.node(n).is_and() {
+        return 0;
+    }
+    let mut refs: Vec<u32> = (0..aig.n_nodes())
+        .map(|i| fanouts.n_refs(NodeId::new(i)))
+        .collect();
+    let mut count = 0;
+    let mut stack = vec![n];
+    while let Some(m) = stack.pop() {
+        count += 1;
+        if let Node::And(a, b) = aig.node(m) {
+            let mut fanin_nodes = vec![a.node()];
+            if b.node() != a.node() {
+                fanin_nodes.push(b.node());
+            }
+            for f in fanin_nodes {
+                if aig.node(f).is_and() {
+                    refs[f.index()] -= 1;
+                    if refs[f.index()] == 0 {
+                        stack.push(f);
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn diamond() -> (Aig, [Lit; 4]) {
+        // y = (a&b) | (a&c); shared input a, two branches, one join.
+        let mut g = Aig::new("diamond", 3);
+        let (a, b, c) = (g.pi(0), g.pi(1), g.pi(2));
+        let ab = g.and(a, b);
+        let ac = g.and(a, c);
+        let y = g.or(ab, ac);
+        g.add_output(y, "y");
+        (g, [a, ab, ac, y])
+    }
+
+    #[test]
+    fn bitmask_basics() {
+        let mut m = BitMask::zeros(130);
+        assert_eq!(m.count(), 0);
+        m.set(0);
+        m.set(64);
+        m.set(129);
+        assert_eq!(m.count(), 3);
+        assert!(m.get(64));
+        assert!(!m.get(65));
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn tfo_includes_all_downstream() {
+        let (g, [a, ab, ac, y]) = diamond();
+        let f = Fanouts::build(&g);
+        let tfo = tfo_mask(&g, &f, a.node());
+        for l in [a, ab, ac, y] {
+            assert!(tfo.get(l.node().index()));
+        }
+        assert!(!tfo.get(g.pi(1).node().index()), "b is not in TFO(a)");
+    }
+
+    #[test]
+    fn tfi_includes_all_upstream() {
+        let (g, [a, ab, _ac, y]) = diamond();
+        let tfi = tfi_mask(&g, y.node());
+        assert!(tfi.get(a.node().index()));
+        assert!(tfi.get(ab.node().index()));
+        assert!(tfi.get(g.pi(2).node().index()));
+    }
+
+    #[test]
+    fn forward_distances() {
+        let (g, [a, ab, _ac, y]) = diamond();
+        let f = Fanouts::build(&g);
+        let d = shortest_forward_distances(&g, &f, a.node());
+        assert_eq!(d[a.node().index()], Some(0));
+        assert_eq!(d[ab.node().index()], Some(1));
+        assert_eq!(d[y.node().index()], Some(2));
+        assert_eq!(d[g.pi(1).node().index()], None);
+    }
+
+    #[test]
+    fn mffc_counts_exclusive_cone() {
+        let (g, [_a, ab, _ac, y]) = diamond();
+        let f = Fanouts::build(&g);
+        // Removing the output node frees the whole 3-AND cone.
+        assert_eq!(mffc_size(&g, &f, y.node()), 3);
+        // ab is referenced only by y, so its MFFC is itself.
+        assert_eq!(mffc_size(&g, &f, ab.node()), 1);
+        // PIs have no MFFC.
+        assert_eq!(mffc_size(&g, &f, g.pi(0).node()), 0);
+    }
+}

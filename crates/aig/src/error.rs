@@ -1,0 +1,40 @@
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors produced by AIG editing and validation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigError {
+    /// A node id was out of range for this graph.
+    NodeOutOfRange(NodeId),
+    /// The operation targeted the constant node or a primary input, which
+    /// cannot be edited.
+    NotAnAnd(NodeId),
+    /// The requested edit would introduce a combinational cycle.
+    WouldCreateCycle { target: NodeId, via: NodeId },
+    /// The graph contains a combinational cycle.
+    Cyclic,
+    /// A primary-input index was out of range.
+    InputOutOfRange(usize),
+    /// An output index was out of range.
+    OutputOutOfRange(usize),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::NodeOutOfRange(n) => write!(f, "node {n} is out of range"),
+            AigError::NotAnAnd(n) => {
+                write!(f, "node {n} is not an AND gate and cannot be edited")
+            }
+            AigError::WouldCreateCycle { target, via } => write!(
+                f,
+                "replacing {target} with a cone containing {via} would create a cycle"
+            ),
+            AigError::Cyclic => write!(f, "graph contains a combinational cycle"),
+            AigError::InputOutOfRange(i) => write!(f, "primary input {i} is out of range"),
+            AigError::OutputOutOfRange(i) => write!(f, "output {i} is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for AigError {}

@@ -1,0 +1,107 @@
+use crate::graph::Aig;
+use crate::node::Node;
+
+impl Aig {
+    /// Evaluates the circuit on a single input pattern, returning one bool
+    /// per primary output.
+    ///
+    /// This is a reference evaluator for tests and small circuits; use the
+    /// `bitsim` crate for bit-parallel bulk simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n_pis` or if the graph is cyclic.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.n_pis(),
+            "expected {} input values, got {}",
+            self.n_pis(),
+            inputs.len()
+        );
+        let order = self.topo_order().expect("eval requires an acyclic graph");
+        let mut values = vec![false; self.n_nodes()];
+        for id in order {
+            values[id.index()] = match *self.node(id) {
+                Node::Const0 => false,
+                Node::Input(i) => inputs[i as usize],
+                Node::And(a, b) => {
+                    let va = values[a.node().index()] ^ a.is_neg();
+                    let vb = values[b.node().index()] ^ b.is_neg();
+                    va && vb
+                }
+            };
+        }
+        self.outputs()
+            .iter()
+            .map(|o| values[o.lit.node().index()] ^ o.lit.is_neg())
+            .collect()
+    }
+
+    /// Evaluates the circuit on every input pattern and returns, for each
+    /// output, its truth table as a vector of `2^n_pis` bools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pis > 20` (the table would be too large) or if the
+    /// graph is cyclic.
+    pub fn truth_tables(&self) -> Vec<Vec<bool>> {
+        assert!(self.n_pis() <= 20, "truth tables limited to 20 inputs");
+        let n = 1usize << self.n_pis();
+        let mut tables = vec![vec![false; n]; self.n_pos()];
+        let mut inputs = vec![false; self.n_pis()];
+        for pattern in 0..n {
+            for (i, v) in inputs.iter_mut().enumerate() {
+                *v = pattern >> i & 1 == 1;
+            }
+            for (t, v) in tables.iter_mut().zip(self.eval(&inputs)) {
+                t[pattern] = v;
+            }
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_majority() {
+        let mut g = Aig::new("maj", 3);
+        let (a, b, c) = (g.pi(0), g.pi(1), g.pi(2));
+        let ab = g.and(a, b);
+        let bc = g.and(b, c);
+        let ac = g.and(a, c);
+        let m = g.or_many(&[ab, bc, ac]);
+        g.add_output(m, "maj");
+        let cases = [
+            ([false, false, false], false),
+            ([true, false, false], false),
+            ([true, true, false], true),
+            ([true, true, true], true),
+            ([false, true, true], true),
+        ];
+        for (ins, want) in cases {
+            assert_eq!(g.eval(&ins), vec![want]);
+        }
+    }
+
+    #[test]
+    fn truth_tables_match_eval() {
+        let mut g = Aig::new("t", 2);
+        let x = g.xor(g.pi(0), g.pi(1));
+        g.add_output(x, "y");
+        let tt = g.truth_tables();
+        assert_eq!(tt[0], vec![false, true, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 input values")]
+    fn eval_checks_arity() {
+        let mut g = Aig::new("t", 2);
+        let y = g.and(g.pi(0), g.pi(1));
+        g.add_output(y, "y");
+        g.eval(&[true]);
+    }
+}

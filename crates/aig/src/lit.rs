@@ -1,0 +1,123 @@
+use crate::node::NodeId;
+use std::fmt;
+
+/// A literal: a reference to an AIG node together with an optional
+/// complement (inversion) flag.
+///
+/// Encoded AIGER-style as `node_index * 2 + complement`, so
+/// [`Lit::FALSE`] is `0` (the constant-zero node, plain) and
+/// [`Lit::TRUE`] is `1` (the constant-zero node, complemented).
+///
+/// ```
+/// use aig::Lit;
+/// let a = Lit::FALSE;
+/// assert_eq!(!a, Lit::TRUE);
+/// assert!(a.is_const());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (node 0, uncomplemented).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (node 0, complemented).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal referring to `node`, complemented if `neg`.
+    #[inline]
+    pub fn new(node: NodeId, neg: bool) -> Self {
+        Lit(node.index() as u32 * 2 + neg as u32)
+    }
+
+    /// Creates a literal from its raw AIGER encoding (`2 * var + neg`).
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Lit(raw)
+    }
+
+    /// The raw AIGER encoding of this literal.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal refers to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId::new((self.0 >> 1) as usize)
+    }
+
+    /// Whether the literal is complemented.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether the literal refers to the constant node.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// This literal with the given complement flag applied on top.
+    #[inline]
+    pub fn xor_neg(self, neg: bool) -> Self {
+        Lit(self.0 ^ neg as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "!n{}", self.node().index())
+        } else {
+            write!(f, "n{}", self.node().index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Lit::FALSE.raw(), 0);
+        assert_eq!(Lit::TRUE.raw(), 1);
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert!(!Lit::FALSE.is_neg());
+        assert!(Lit::TRUE.is_neg());
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let l = Lit::new(NodeId::new(7), false);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).node(), l.node());
+    }
+
+    #[test]
+    fn xor_neg_applies_polarity() {
+        let l = Lit::new(NodeId::new(3), true);
+        assert_eq!(l.xor_neg(false), l);
+        assert_eq!(l.xor_neg(true), !l);
+    }
+
+    #[test]
+    fn display_shows_polarity() {
+        let l = Lit::new(NodeId::new(4), true);
+        assert_eq!(l.to_string(), "!n4");
+        assert_eq!((!l).to_string(), "n4");
+    }
+}

@@ -1,0 +1,94 @@
+use crate::lit::Lit;
+use std::fmt;
+
+/// Index of a node inside an [`Aig`](crate::Aig).
+///
+/// Node 0 is always the constant-zero node; nodes `1..=n_pis` are the
+/// primary inputs; the remaining nodes are two-input ANDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-zero node, present in every AIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// The raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The uncomplemented literal pointing at this node.
+    #[inline]
+    pub fn lit(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The function of a single AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant-zero node (always node 0).
+    Const0,
+    /// A primary input; the payload is the input's position.
+    Input(u32),
+    /// A two-input AND of the two (possibly complemented) literals.
+    And(Lit, Lit),
+}
+
+impl Node {
+    /// Whether this node is a two-input AND gate.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self, Node::And(..))
+    }
+
+    /// Whether this node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, Node::Input(_))
+    }
+
+    /// The AND fanins, if this node is an AND.
+    #[inline]
+    pub fn fanins(&self) -> Option<(Lit, Lit)> {
+        match *self {
+            Node::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_lit_round_trip() {
+        let n = NodeId::new(12);
+        assert_eq!(n.lit().node(), n);
+        assert!(!n.lit().is_neg());
+    }
+
+    #[test]
+    fn node_kind_queries() {
+        let a = Node::And(Lit::FALSE, Lit::TRUE);
+        assert!(a.is_and());
+        assert!(!a.is_input());
+        assert_eq!(a.fanins(), Some((Lit::FALSE, Lit::TRUE)));
+        assert_eq!(Node::Const0.fanins(), None);
+        assert!(Node::Input(3).is_input());
+    }
+}

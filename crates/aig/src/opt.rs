@@ -1,0 +1,181 @@
+use crate::error::AigError;
+use crate::graph::Aig;
+use crate::lit::Lit;
+use crate::node::Node;
+
+/// Builds an AND with local two-level rewriting rules applied (a subset of
+/// the rules from Brummayer & Biere, "Local two-level AND-inverter graph
+/// rewriting"), falling back to plain structural hashing.
+fn and_rewrite(out: &mut Aig, a: Lit, b: Lit) -> Lit {
+    // Look through each operand if it points at an AND gate.
+    let fan = |g: &Aig, l: Lit| -> Option<(Lit, Lit)> { g.fanins(l.node()) };
+
+    // Contradiction and idempotence against a positive AND operand.
+    if let Some((a0, a1)) = fan(out, a) {
+        if !a.is_neg() {
+            if a0 == !b || a1 == !b {
+                return Lit::FALSE; // (x & y) & !x = 0
+            }
+            if a0 == b || a1 == b {
+                return out.and(a0, a1); // (x & y) & x = x & y
+            }
+        } else {
+            if a0 == b {
+                return out.and(b, !a1); // !(x & y) & x = x & !y
+            }
+            if a1 == b {
+                return out.and(b, !a0);
+            }
+        }
+    }
+    if let Some((b0, b1)) = fan(out, b) {
+        if !b.is_neg() {
+            if b0 == !a || b1 == !a {
+                return Lit::FALSE;
+            }
+            if b0 == a || b1 == a {
+                return out.and(b0, b1);
+            }
+        } else {
+            if b0 == a {
+                return out.and(a, !b1);
+            }
+            if b1 == a {
+                return out.and(a, !b0);
+            }
+        }
+    }
+    // Contradiction between two positive AND operands.
+    if let (Some((a0, a1)), Some((b0, b1))) = (fan(out, a), fan(out, b)) {
+        if !a.is_neg() && !b.is_neg() {
+            if a0 == !b0 || a0 == !b1 || a1 == !b0 || a1 == !b1 {
+                return Lit::FALSE; // share a variable in opposite phase
+            }
+        }
+    }
+    out.and(a, b)
+}
+
+impl Aig {
+    /// Rebuilds the live portion of the graph, applying local two-level
+    /// rewriting rules (contradiction, idempotence, substitution) on top
+    /// of the usual constant folding and structural hashing.
+    ///
+    /// Returns the rewritten graph and the old-node → new-literal mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::Cyclic`] if the graph contains a cycle.
+    pub fn rewrite_local(&self) -> Result<(Aig, Vec<Option<Lit>>), AigError> {
+        let order = self.topo_order()?;
+        let live = self.live_mask();
+        let mut out = Aig::new(self.name().to_string(), self.n_pis());
+        for i in 0..self.n_pis() {
+            out.set_pi_name(i, self.pi_name(i).to_string());
+        }
+        let mut map: Vec<Option<Lit>> = vec![None; self.n_nodes()];
+        map[0] = Some(Lit::FALSE);
+        for id in order {
+            if !live[id.index()] {
+                continue;
+            }
+            match *self.node(id) {
+                Node::Const0 => {}
+                Node::Input(i) => map[id.index()] = Some(out.pi(i as usize)),
+                Node::And(a, b) => {
+                    let fa = map[a.node().index()]
+                        .expect("fanins mapped first")
+                        .xor_neg(a.is_neg());
+                    let fb = map[b.node().index()]
+                        .expect("fanins mapped first")
+                        .xor_neg(b.is_neg());
+                    map[id.index()] = Some(and_rewrite(&mut out, fa, fb));
+                }
+            }
+        }
+        for o in self.outputs() {
+            let lit = map[o.lit.node().index()]
+                .expect("output drivers are live")
+                .xor_neg(o.lit.is_neg());
+            out.add_output(lit, o.name.clone());
+        }
+        // Rewriting can orphan former fanin gates; sweep them and compose
+        // the two mappings.
+        let sweep_map = out.cleanup()?;
+        for slot in &mut map {
+            *slot = slot.and_then(|l| {
+                sweep_map[l.node().index()].map(|m| m.xor_neg(l.is_neg()))
+            });
+        }
+        Ok((out, map))
+    }
+
+    /// Applies [`Aig::rewrite_local`] repeatedly (up to `max_passes`
+    /// times) until the gate count stops improving. A light stand-in for
+    /// an ABC `resyn2`-style pre-optimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::Cyclic`] if the graph contains a cycle.
+    pub fn optimize(&mut self, max_passes: usize) -> Result<(), AigError> {
+        for _ in 0..max_passes {
+            let before = self.n_ands();
+            let (next, _) = self.rewrite_local()?;
+            *self = next;
+            if self.n_ands() >= before {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_kills_contradictions() {
+        let mut g = Aig::new("t", 2);
+        let (a, b) = (g.pi(0), g.pi(1));
+        let ab = g.and(a, b);
+        let z = g.and(ab, !a); // = 0
+        g.add_output(z, "z");
+        let (h, _) = g.rewrite_local().unwrap();
+        assert_eq!(h.n_ands(), 0);
+        assert_eq!(h.outputs()[0].lit, Lit::FALSE);
+    }
+
+    #[test]
+    fn rewrite_applies_substitution() {
+        let mut g = Aig::new("t", 2);
+        let (a, b) = (g.pi(0), g.pi(1));
+        let ab = g.and(a, b);
+        let y = g.and(!ab, a); // = a & !b
+        g.add_output(y, "y");
+        let (h, _) = g.rewrite_local().unwrap();
+        assert_eq!(h.n_ands(), 1);
+        for pattern in 0..4u32 {
+            let ins = [pattern & 1 == 1, pattern >> 1 & 1 == 1];
+            assert_eq!(g.eval(&ins), h.eval(&ins));
+        }
+    }
+
+    #[test]
+    fn optimize_preserves_semantics() {
+        let mut g = Aig::new("t", 3);
+        let (a, b, c) = (g.pi(0), g.pi(1), g.pi(2));
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        let red = g.and(abc, a); // redundant re-AND with a
+        let y = g.or(red, ab);
+        g.add_output(y, "y");
+        let reference = g.clone();
+        g.optimize(4).unwrap();
+        for pattern in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(g.eval(&ins), reference.eval(&ins));
+        }
+        assert!(g.n_ands() <= reference.n_ands());
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline approximate-logic-synthesis flows that AccALS is compared
+//! against in the paper:
+//!
+//! - [`seals`] — a SEALS-style single-selection iterative flow
+//!   (Meng et al., DAC 2022): every round evaluates all candidate LACs
+//!   with the same batch estimator AccALS uses, but applies only the
+//!   single best one. This is the runtime baseline of Figs. 5-6 and
+//!   Table II.
+//! - [`amosa`] — an AMOSA-style archived multi-objective simulated
+//!   annealing flow (Barbareschi et al., IEEE TETC 2022): a subset of a
+//!   fixed candidate-LAC pool is evolved under the (error, area)
+//!   objectives, producing a Pareto archive. This is the comparison of
+//!   Fig. 7 and Table III.
+
+pub mod amosa;
+pub mod seals;
+
+pub use amosa::{Amosa, AmosaConfig, AmosaResult, ArchivedDesign};
+pub use seals::{Seals, SealsConfig, SealsResult};

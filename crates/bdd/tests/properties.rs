@@ -1,0 +1,113 @@
+//! Property tests: BDDs built from random circuits must agree with the
+//! reference evaluator on every assignment, and density must equal the
+//! exhaustive model count.
+
+use aig::{Aig, Lit};
+use bdd::{exact, Manager};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    n_pis: usize,
+    steps: Vec<(usize, bool, usize, bool)>,
+    outputs: Vec<(usize, bool)>,
+}
+
+fn build(recipe: &Recipe) -> Aig {
+    let mut g = Aig::new("random", recipe.n_pis);
+    let mut lits: Vec<Lit> = (0..recipe.n_pis).map(|i| g.pi(i)).collect();
+    lits.push(Lit::TRUE);
+    for &(ai, an, bi, bn) in &recipe.steps {
+        let a = lits[ai % lits.len()].xor_neg(an);
+        let b = lits[bi % lits.len()].xor_neg(bn);
+        lits.push(g.and(a, b));
+    }
+    for &(oi, on) in &recipe.outputs {
+        let l = lits[oi % lits.len()].xor_neg(on);
+        g.add_output(l, format!("y{}", g.n_pos()));
+    }
+    g
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (2usize..7, 1usize..50, 1usize..5).prop_flat_map(|(n_pis, n_steps, n_outs)| {
+        (
+            proptest::collection::vec(
+                (any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
+                n_steps,
+            ),
+            proptest::collection::vec((any::<usize>(), any::<bool>()), n_outs),
+        )
+            .prop_map(move |(steps, outputs)| Recipe {
+                n_pis,
+                steps,
+                outputs,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bdd_agrees_with_eval_everywhere(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let mut m = Manager::new(recipe.n_pis, 1 << 20);
+        let outs = m.build_outputs(&g).expect("small circuits fit");
+        for p in 0..1usize << recipe.n_pis {
+            let ins: Vec<bool> = (0..recipe.n_pis).map(|i| p >> i & 1 == 1).collect();
+            let want = g.eval(&ins);
+            for (o, &f) in outs.iter().enumerate() {
+                prop_assert_eq!(m.eval(f, &ins), want[o], "output {} pattern {}", o, p);
+            }
+        }
+    }
+
+    #[test]
+    fn density_equals_exhaustive_count(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let mut m = Manager::new(recipe.n_pis, 1 << 20);
+        let outs = m.build_outputs(&g).expect("small circuits fit");
+        let n = 1usize << recipe.n_pis;
+        for (o, &f) in outs.iter().enumerate() {
+            let count = (0..n)
+                .filter(|&p| {
+                    let ins: Vec<bool> =
+                        (0..recipe.n_pis).map(|i| p >> i & 1 == 1).collect();
+                    g.eval(&ins)[o]
+                })
+                .count();
+            let density = m.density(f);
+            prop_assert!(
+                (density - count as f64 / n as f64).abs() < 1e-12,
+                "output {}: density {} vs count {}/{}", o, density, count, n
+            );
+        }
+    }
+
+    #[test]
+    fn exact_error_rate_matches_brute_force(
+        recipe in recipe_strategy(),
+        corrupt in any::<usize>(),
+    ) {
+        let golden = build(&recipe);
+        if golden.n_ands() == 0 {
+            return Ok(());
+        }
+        let ands: Vec<_> = golden.and_ids().collect();
+        let mut approx = golden.clone();
+        approx.replace(ands[corrupt % ands.len()], Lit::TRUE).unwrap();
+        let (approx, _) = approx.compact().unwrap();
+
+        let er = exact::error_rate(&golden, &approx, 1 << 20).unwrap();
+        let n = 1usize << recipe.n_pis;
+        let brute = (0..n)
+            .filter(|&p| {
+                let ins: Vec<bool> = (0..recipe.n_pis).map(|i| p >> i & 1 == 1).collect();
+                golden.eval(&ins) != approx.eval(&ins)
+            })
+            .count() as f64
+            / n as f64;
+        prop_assert!((er - brute).abs() < 1e-12, "exact {} vs brute {}", er, brute);
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion benchmarks of full synthesis rounds: one AccALS multi-LAC
+//! round-equivalent vs one SEALS single-LAC round-equivalent, plus small
+//! end-to-end flows.
+
+use accals::{Accals, AccalsConfig};
+use baselines::{Seals, SealsConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use errmetrics::MetricKind;
+
+fn bench_flows(c: &mut Criterion) {
+    let g = benchgen::multipliers::array_multiplier(4);
+    c.bench_function("flow/accals/mtp4_er3pct", |b| {
+        b.iter(|| Accals::new(AccalsConfig::new(MetricKind::Er, 0.03)).synthesize(&g))
+    });
+    c.bench_function("flow/seals/mtp4_er3pct", |b| {
+        b.iter(|| Seals::new(SealsConfig::new(MetricKind::Er, 0.03)).synthesize(&g))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flows
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates Fig. 7 of the paper: area-ratio-versus-ER curves of
+//! AccALS and the AMOSA-style baseline on the LGSynt91-like circuits,
+//! mapped with the NanGate-45nm-like library.
+//!
+//! AccALS's curve is produced by running it at a ladder of ER bounds;
+//! AMOSA's curve is its archived Pareto front.
+//!
+//! Run: `cargo run -p accals-bench --release --bin fig7_amosa_curves
+//!       [--circuits alu2,term1] [--iters 2000]`
+
+use accals_bench::exp::{arg, filtered, mapped_cost, run_accals};
+use accals_bench::report::Table;
+use baselines::{Amosa, AmosaConfig};
+use benchgen::suite;
+use errmetrics::MetricKind;
+use techmap::Library;
+
+const ER_LADDER: [f64; 6] = [0.01, 0.05, 0.10, 0.15, 0.20, 0.30];
+
+fn main() {
+    let lib = Library::nangate45_mini();
+    let iters: usize = arg("iters").and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let mut table = Table::new(
+        "Fig. 7: area ratio vs ER, AccALS and AMOSA (NanGate-like library)",
+        &["ckt", "method", "er", "area_ratio"],
+    );
+    for name in filtered(&suite::LGSYNT_LIKE) {
+        let g = suite::by_name(&name).expect("known circuit");
+        let (base_area, _) = mapped_cost(&g, &lib);
+
+        // AccALS curve.
+        for &er in &ER_LADDER {
+            let out = run_accals(&g, MetricKind::Er, er, 0xACC_A15, &lib);
+            table.row(vec![
+                name.clone(),
+                "AccALS".to_string(),
+                format!("{:.4}", out.error),
+                format!("{:.4}", out.area_ratio),
+            ]);
+        }
+
+        // AMOSA curve: every archived design, rebuilt and mapped.
+        let mut cfg = AmosaConfig::new(MetricKind::Er, *ER_LADDER.last().expect("nonempty"));
+        cfg.iterations = iters;
+        let result = Amosa::new(cfg).synthesize(&g);
+        for design in &result.archive {
+            let circuit = result.rebuild(&g, design);
+            let (area, _) = mapped_cost(&circuit, &lib);
+            table.row(vec![
+                name.clone(),
+                "AMOSA".to_string(),
+                format!("{:.4}", design.error),
+                format!("{:.4}", area / base_area),
+            ]);
+        }
+    }
+    table.emit("fig7_amosa_curves");
+    println!(
+        "Paper shape: the AccALS curve sits at or below the AMOSA curve for \
+         nearly every ER (up to 50% smaller area on alu2/apex6/term1)."
+    );
+}

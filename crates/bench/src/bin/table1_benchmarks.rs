@@ -1,0 +1,40 @@
+//! Regenerates Table I of the paper: the benchmark suite with AIG node
+//! counts and mapped area/delay, normalized to the INV cell of the
+//! MCNC-like library.
+//!
+//! Run: `cargo run -p accals-bench --release --bin table1_benchmarks`
+
+use accals_bench::exp::mapped_cost;
+use accals_bench::report::Table;
+use benchgen::suite;
+use techmap::Library;
+
+fn main() {
+    let lib = Library::mcnc_mini();
+    let inv = &lib.cells()[lib.inv()];
+    let mut table = Table::new(
+        "Table I: benchmarks (#Nd = AIG nodes; area/delay normalized to INV)",
+        &["group", "ckt", "#PI", "#PO", "#Nd", "area", "delay"],
+    );
+    let groups: [(&str, &[&str]); 3] = [
+        ("ISCAS&arith", &suite::SMALL_ISCAS_ARITH),
+        ("EPFL-like", &suite::EPFL_LIKE),
+        ("LGSynt91-like", &suite::LGSYNT_LIKE),
+    ];
+    for (group, names) in groups {
+        for name in names {
+            let g = suite::by_name(name).expect("known circuit");
+            let (area, delay) = mapped_cost(&g, &lib);
+            table.row(vec![
+                group.to_string(),
+                name.to_string(),
+                g.n_pis().to_string(),
+                g.n_pos().to_string(),
+                g.n_ands().to_string(),
+                format!("{:.0}", area / inv.area),
+                format!("{:.1}", delay / inv.delay),
+            ]);
+        }
+    }
+    table.emit("table1_benchmarks");
+}

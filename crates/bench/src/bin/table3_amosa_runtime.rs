@@ -1,0 +1,60 @@
+//! Regenerates Table III of the paper: synthesis runtime of AccALS vs
+//! the AMOSA-style baseline on the LGSynt91-like circuits (single run).
+//!
+//! AccALS is run with the ER bound set to the maximum ER of the AMOSA
+//! archive, mirroring the paper's protocol.
+//!
+//! Run: `cargo run -p accals-bench --release --bin table3_amosa_runtime
+//!       [--circuits alu2,term1] [--iters 2000]`
+
+use accals_bench::exp::{arg, filtered, run_accals};
+use accals_bench::report::{secs, Table};
+use baselines::{Amosa, AmosaConfig};
+use benchgen::suite;
+use errmetrics::MetricKind;
+use techmap::Library;
+
+fn main() {
+    let lib = Library::nangate45_mini();
+    let iters: usize = arg("iters").and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let mut table = Table::new(
+        "Table III: runtime (s), AccALS vs AMOSA",
+        &["ckt", "amosa_time_s", "accals_time_s", "speedup"],
+    );
+    let mut sums = [0.0f64; 2];
+    let names = filtered(&suite::LGSYNT_LIKE);
+    for name in &names {
+        let g = suite::by_name(name).expect("known circuit");
+        let mut cfg = AmosaConfig::new(MetricKind::Er, 0.30);
+        cfg.iterations = iters;
+        let amosa = Amosa::new(cfg).synthesize(&g);
+        // Bound AccALS by the maximum ER AMOSA reached.
+        let max_er = amosa
+            .archive
+            .iter()
+            .map(|d| d.error)
+            .fold(0.0f64, f64::max)
+            .max(0.01);
+        let acc = run_accals(&g, MetricKind::Er, max_er, 0xACC_A15, &lib);
+        sums[0] += amosa.runtime.as_secs_f64();
+        sums[1] += acc.runtime.as_secs_f64();
+        table.row(vec![
+            name.clone(),
+            secs(amosa.runtime),
+            secs(acc.runtime),
+            format!(
+                "{:.1}x",
+                amosa.runtime.as_secs_f64() / acc.runtime.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    let n = names.len() as f64;
+    table.row(vec![
+        "average".to_string(),
+        format!("{:.1}", sums[0] / n),
+        format!("{:.1}", sums[1] / n),
+        format!("{:.1}x", (sums[0] / n) / (sums[1] / n).max(1e-9)),
+    ]);
+    table.emit("table3_amosa_runtime");
+    println!("Paper shape: AccALS is faster on every circuit (paper: 13x average).");
+}

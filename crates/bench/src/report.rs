@@ -1,0 +1,138 @@
+//! Shared reporting helpers for the experiment binaries: fixed-width
+//! table printing and CSV emission into `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A simple fixed-width text table that also serializes to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut s = format!("== {} ==\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        s.push_str(&fmt_row(&self.header, &widths));
+        s.push('\n');
+        s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&fmt_row(row, &widths));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Prints the table to stdout and writes a CSV copy under
+    /// `results/<name>.csv` (relative to the workspace root when run via
+    /// `cargo run`).
+    pub fn emit(&self, name: &str) {
+        print!("{}", self.render());
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut csv = self.header.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[csv written to {}]\n", path.display());
+        }
+    }
+}
+
+/// The `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let base = if Path::new("results").exists() || Path::new("Cargo.toml").exists() {
+        PathBuf::from("results")
+    } else {
+        PathBuf::from(".")
+    };
+    let _ = fs::create_dir_all(&base);
+    base
+}
+
+/// Writes a free-form text report alongside the CSVs.
+pub fn write_text(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    if let Ok(mut f) = fs::File::create(&path) {
+        let _ = f.write_all(content.as_bytes());
+    }
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 10.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_aligns() {
+        let mut t = Table::new("demo", &["ckt", "area"]);
+        t.row(vec!["rca32".into(), "283".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("rca32"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

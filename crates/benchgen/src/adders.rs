@@ -1,0 +1,291 @@
+//! Adder generators: ripple-carry, carry-lookahead, and Kogge-Stone.
+//!
+//! Each adder takes two `width`-bit inputs `a` and `b` and produces
+//! `width + 1` outputs: the sum bits (LSB first) followed by the carry
+//! out. These are the `rca32`, `cla32`, and `ksa32` circuits of the
+//! paper's small-arithmetic suite.
+
+use crate::primitives::{full_adder, input_word, output_word};
+use aig::{Aig, Lit};
+
+/// Ripple-carry adder.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn rca(width: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    let mut g = Aig::new(format!("rca{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let mut carry = Lit::FALSE;
+    let mut sum = Vec::with_capacity(width);
+    for i in 0..width {
+        let (s, c) = full_adder(&mut g, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    output_word(&mut g, &sum, "s");
+    g.add_output(carry, "cout");
+    g
+}
+
+/// Carry-lookahead adder with lookahead blocks of `block` bits.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn cla(width: usize, block: usize) -> Aig {
+    assert!(width > 0 && block > 0, "width and block must be positive");
+    let mut g = Aig::new(format!("cla{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    // Bit-level propagate/generate.
+    let p: Vec<Lit> = (0..width).map(|i| g.xor(a[i], b[i])).collect();
+    let gen: Vec<Lit> = (0..width).map(|i| g.and(a[i], b[i])).collect();
+    let mut sum = Vec::with_capacity(width);
+    let mut carry = Lit::FALSE; // block carry-in
+    for blk_start in (0..width).step_by(block) {
+        let blk_end = (blk_start + block).min(width);
+        // Lookahead within the block: c[i+1] = g[i] | p[i] & c[i],
+        // expanded so every carry depends only on the block carry-in.
+        let mut carries = vec![carry];
+        for i in blk_start..blk_end {
+            // c_{i+1} = g_i | g_{i-1} p_i | ... | c_in * p_{blk..i}
+            let mut terms: Vec<Lit> = Vec::new();
+            for j in blk_start..=i {
+                let ps: Vec<Lit> = (j + 1..=i).map(|k| p[k]).collect();
+                let mut t = gen[j];
+                for &pk in &ps {
+                    t = g.and(t, pk);
+                }
+                terms.push(t);
+            }
+            let mut cin_term = carry;
+            for k in blk_start..=i {
+                cin_term = g.and(cin_term, p[k]);
+            }
+            terms.push(cin_term);
+            carries.push(g.or_many(&terms));
+        }
+        for (off, i) in (blk_start..blk_end).enumerate() {
+            sum.push(g.xor(p[i], carries[off]));
+        }
+        carry = *carries.last().expect("block has at least one carry");
+    }
+    output_word(&mut g, &sum, "s");
+    g.add_output(carry, "cout");
+    g
+}
+
+/// Kogge-Stone parallel-prefix adder.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ksa(width: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    let mut g = Aig::new(format!("ksa{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let p0: Vec<Lit> = (0..width).map(|i| g.xor(a[i], b[i])).collect();
+    let g0: Vec<Lit> = (0..width).map(|i| g.and(a[i], b[i])).collect();
+    // Parallel-prefix combination: (G, P) o (G', P') = (G | P & G', P & P').
+    let mut gp = g0.clone();
+    let mut pp = p0.clone();
+    let mut dist = 1;
+    while dist < width {
+        let mut ng = gp.clone();
+        let mut np = pp.clone();
+        for i in dist..width {
+            let pg = g.and(pp[i], gp[i - dist]);
+            ng[i] = g.or(gp[i], pg);
+            np[i] = g.and(pp[i], pp[i - dist]);
+        }
+        gp = ng;
+        pp = np;
+        dist *= 2;
+    }
+    // Carries: c[i] = prefix generate of bits 0..i-1 (carry-in is 0).
+    let mut sum = Vec::with_capacity(width);
+    sum.push(p0[0]);
+    for i in 1..width {
+        sum.push(g.xor(p0[i], gp[i - 1]));
+    }
+    output_word(&mut g, &sum, "s");
+    g.add_output(gp[width - 1], "cout");
+    g
+}
+
+/// Brent-Kung parallel-prefix adder: logarithmic depth with fewer
+/// prefix cells than Kogge-Stone.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn brent_kung(width: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    let mut g = Aig::new(format!("bka{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let p0: Vec<Lit> = (0..width).map(|i| g.xor(a[i], b[i])).collect();
+    let g0: Vec<Lit> = (0..width).map(|i| g.and(a[i], b[i])).collect();
+    // Prefix tree over (G, P) pairs; prefix[i] covers bits 0..=i.
+    let mut gp = g0.clone();
+    let mut pp = p0.clone();
+    // Up-sweep: combine at strides 1, 2, 4, ...
+    let mut stride = 1;
+    while stride < width {
+        let mut i = 2 * stride - 1;
+        while i < width {
+            let lo = i - stride;
+            let pg = g.and(pp[i], gp[lo]);
+            gp[i] = g.or(gp[i], pg);
+            pp[i] = g.and(pp[i], pp[lo]);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    // Down-sweep: fill in the remaining prefixes.
+    stride /= 2;
+    while stride >= 1 {
+        let mut i = 3 * stride - 1;
+        while i < width {
+            let lo = i - stride;
+            let pg = g.and(pp[i], gp[lo]);
+            gp[i] = g.or(gp[i], pg);
+            pp[i] = g.and(pp[i], pp[lo]);
+            i += 2 * stride;
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+    let mut sum = Vec::with_capacity(width);
+    sum.push(p0[0]);
+    for i in 1..width {
+        sum.push(g.xor(p0[i], gp[i - 1]));
+    }
+    output_word(&mut g, &sum, "s");
+    g.add_output(gp[width - 1], "cout");
+    g
+}
+
+/// Carry-select adder: blocks of `block` bits computed for both carry
+/// values and selected by the incoming carry.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_select(width: usize, block: usize) -> Aig {
+    assert!(width > 0 && block > 0, "width and block must be positive");
+    let mut g = Aig::new(format!("csla{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let mut sum = Vec::with_capacity(width);
+    let mut carry = Lit::FALSE;
+    for start in (0..width).step_by(block) {
+        let end = (start + block).min(width);
+        // Compute the block twice: carry-in 0 and carry-in 1.
+        let mut variants = Vec::with_capacity(2);
+        for cin in [Lit::FALSE, Lit::TRUE] {
+            let mut c = cin;
+            let mut bits = Vec::with_capacity(end - start);
+            for i in start..end {
+                let (s, nc) = full_adder(&mut g, a[i], b[i], c);
+                bits.push(s);
+                c = nc;
+            }
+            variants.push((bits, c));
+        }
+        let (zero, one) = (variants.remove(0), variants.remove(0));
+        for (s0, s1) in zero.0.iter().zip(&one.0) {
+            sum.push(g.mux(carry, *s1, *s0));
+        }
+        carry = g.mux(carry, one.1, zero.1);
+    }
+    output_word(&mut g, &sum, "s");
+    g.add_output(carry, "cout");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode, encode};
+
+    fn check_adder(g: &aig::Aig, width: usize) {
+        let cases: Vec<(u128, u128)> = if width <= 4 {
+            (0..1u128 << width)
+                .flat_map(|x| (0..1u128 << width).map(move |y| (x, y)))
+                .collect()
+        } else {
+            let m = (1u128 << width) - 1;
+            vec![
+                (0, 0),
+                (1, 1),
+                (m, 1),
+                (m, m),
+                (0x5555 & m, 0xAAAA & m),
+                (12345 & m, 54321 & m),
+                (m / 3, m / 7),
+            ]
+        };
+        for (x, y) in cases {
+            let mut ins = encode(x, width);
+            ins.extend(encode(y, width));
+            assert_eq!(decode(&g.eval(&ins)), x + y, "{} + {} (w={})", x, y, width);
+        }
+    }
+
+    #[test]
+    fn rca_is_correct() {
+        for w in [1, 3, 4, 16, 32] {
+            check_adder(&super::rca(w), w);
+        }
+    }
+
+    #[test]
+    fn cla_is_correct() {
+        for (w, b) in [(4, 4), (8, 4), (16, 4), (32, 4), (7, 3)] {
+            check_adder(&super::cla(w, b), w);
+        }
+    }
+
+    #[test]
+    fn ksa_is_correct() {
+        for w in [1, 2, 5, 8, 16, 32] {
+            check_adder(&super::ksa(w), w);
+        }
+    }
+
+    #[test]
+    fn brent_kung_is_correct() {
+        for w in [1, 2, 3, 4, 5, 8, 16, 32] {
+            check_adder(&super::brent_kung(w), w);
+        }
+    }
+
+    #[test]
+    fn carry_select_is_correct() {
+        for (w, b) in [(4, 4), (8, 4), (16, 4), (32, 8), (7, 3)] {
+            check_adder(&super::carry_select(w, b), w);
+        }
+    }
+
+    #[test]
+    fn brent_kung_uses_fewer_gates_than_kogge_stone() {
+        let bk = super::brent_kung(32);
+        let ks = super::ksa(32);
+        assert!(bk.n_ands() < ks.n_ands());
+        // Both are logarithmic-ish in depth, far below ripple.
+        assert!(bk.depth().unwrap() < super::rca(32).depth().unwrap() / 2);
+    }
+
+    #[test]
+    fn ksa_is_shallower_than_rca() {
+        let rca = super::rca(32);
+        let ksa = super::ksa(32);
+        assert!(ksa.depth().unwrap() < rca.depth().unwrap());
+    }
+}

@@ -1,0 +1,146 @@
+//! Arithmetic-logic unit generators — functional stand-ins for the MCNC
+//! `alu2`/`alu4` and ISCAS `c880`/`c3540` benchmarks.
+
+use crate::primitives::{input_word, mux_word, output_word, ripple_add, ripple_sub};
+use aig::{Aig, Lit};
+
+/// The operations an [`alu`] can perform, in opcode order.
+pub const ALU_OPS: [&str; 8] = ["add", "sub", "and", "or", "xor", "slt", "shl", "notb"];
+
+/// Builds a `width`-bit ALU supporting the first `n_ops` operations of
+/// [`ALU_OPS`]. Inputs: `a` (width), `b` (width), `op`
+/// (`ceil(log2(n_ops))` bits). Outputs: the result (width bits, LSB
+/// first), a carry/overflow bit, and a zero flag.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `n_ops` is not in `2..=8`.
+pub fn alu(width: usize, n_ops: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    assert!((2..=8).contains(&n_ops), "n_ops must be in 2..=8");
+    let op_bits = usize::BITS as usize - (n_ops - 1).leading_zeros() as usize;
+    let mut g = Aig::new(format!("alu{width}x{n_ops}"), 2 * width + op_bits);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let op = input_word(&mut g, 2 * width, op_bits, "op");
+
+    let (add, cout) = ripple_add(&mut g, &a, &b, Lit::FALSE);
+    let (sub, no_borrow) = ripple_sub(&mut g, &a, &b);
+    let and_w: Vec<Lit> = (0..width).map(|i| g.and(a[i], b[i])).collect();
+    let or_w: Vec<Lit> = (0..width).map(|i| g.or(a[i], b[i])).collect();
+    let xor_w: Vec<Lit> = (0..width).map(|i| g.xor(a[i], b[i])).collect();
+    let mut slt = vec![Lit::FALSE; width];
+    slt[0] = !no_borrow;
+    let mut shl = vec![Lit::FALSE; width];
+    shl[1..].copy_from_slice(&a[..width - 1]);
+    let notb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+
+    let results = [add, sub, and_w, or_w, xor_w, slt, shl, notb];
+    // Select via a mux tree over the opcode bits.
+    let mut layer: Vec<Vec<Lit>> = results[..n_ops.next_power_of_two().min(8)]
+        .iter()
+        .cloned()
+        .chain(std::iter::repeat(vec![Lit::FALSE; width]))
+        .take(1 << op_bits)
+        .collect();
+    for bit in 0..op_bits {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(mux_word(&mut g, op[bit], &pair[1], &pair[0]));
+        }
+        layer = next;
+    }
+    let result = layer.pop().expect("mux tree leaves one word");
+
+    let carry = g.mux(op[0], !no_borrow, cout); // borrow for sub, carry for add
+    let nonzero = g.or_many(&result);
+    output_word(&mut g, &result, "y");
+    g.add_output(carry, "carry");
+    g.add_output(!nonzero, "zero");
+    g
+}
+
+/// A `c880`-style circuit: an 8-bit ALU with an added parity output over
+/// the result, approximating the original's ALU-plus-parity structure.
+pub fn alu_with_parity(width: usize, n_ops: usize) -> Aig {
+    let mut g = alu(width, n_ops);
+    let result_lits: Vec<Lit> = (0..width).map(|i| g.outputs()[i].lit).collect();
+    let parity = g.xor_many(&result_lits);
+    g.add_output(parity, "parity");
+    g.set_name(format!("alup{width}x{n_ops}"));
+    g
+}
+
+/// Software model of [`alu`], for tests: returns `(result, carry, zero)`.
+pub fn alu_model(width: usize, a: u128, b: u128, op: usize) -> (u128, bool, bool) {
+    let mask = (1u128 << width) - 1;
+    let (a, b) = (a & mask, b & mask);
+    let (result, carry_add) = (a + b & mask, a + b > mask);
+    let borrow = a < b;
+    let value = match op {
+        0 => result,
+        1 => a.wrapping_sub(b) & mask,
+        2 => a & b,
+        3 => a | b,
+        4 => a ^ b,
+        5 => (a < b) as u128,
+        6 => a << 1 & mask,
+        7 => !b & mask,
+        _ => 0,
+    };
+    // The carry output is only meaningful for add/sub; the hardware muxes
+    // on the opcode LSB, so the model mirrors that.
+    let carry = if op % 2 == 1 { borrow } else { carry_add };
+    (value, carry, value == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, encode};
+
+    #[test]
+    fn alu_matches_model() {
+        let (w, n_ops) = (4, 8);
+        let g = alu(w, n_ops);
+        for a in [0u128, 3, 9, 15] {
+            for b in [0u128, 1, 8, 15] {
+                for op in 0..n_ops {
+                    let mut ins = encode(a, w);
+                    ins.extend(encode(b, w));
+                    ins.extend(encode(op as u128, 3));
+                    let out = g.eval(&ins);
+                    let (want, want_carry, want_zero) = alu_model(w, a, b, op);
+                    assert_eq!(decode(&out[..w]), want, "op {op}: {a}, {b}");
+                    assert_eq!(out[w], want_carry, "carry op {op}: {a}, {b}");
+                    assert_eq!(out[w + 1], want_zero, "zero op {op}: {a}, {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_with_two_ops_uses_one_select_bit() {
+        let g = alu(4, 2);
+        assert_eq!(g.n_pis(), 9);
+        // op 0 = add, op 1 = sub.
+        let mut ins = encode(7, 4);
+        ins.extend(encode(3, 4));
+        ins.push(false);
+        assert_eq!(decode(&g.eval(&ins)[..4]), 10);
+        *ins.last_mut().unwrap() = true;
+        assert_eq!(decode(&g.eval(&ins)[..4]), 4);
+    }
+
+    #[test]
+    fn parity_output_is_result_parity() {
+        let w = 4;
+        let g = alu_with_parity(w, 4);
+        let mut ins = encode(0b1011, w); // a
+        ins.extend(encode(0b0001, w)); // b
+        ins.extend(encode(2, 2)); // op = and -> 0b0001
+        let out = g.eval(&ins);
+        let ones = out[..w].iter().filter(|&&b| b).count();
+        assert_eq!(out.last().copied().unwrap(), ones % 2 == 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Control-logic generators: comparators, encoders, decoders, parity and
+//! mux trees, plus a seeded random multi-level logic generator used to
+//! build LGSynt91-style stand-ins (`apex6`, `frg2`, `term1`).
+
+use crate::primitives::{input_word, minterms, output_word};
+use aig::{Aig, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Unsigned comparator: two `width`-bit inputs, outputs `lt`, `eq`, `gt`.
+pub fn comparator(width: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    let mut g = Aig::new(format!("cmp{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let lt = crate::primitives::less_than(&mut g, &a, &b);
+    let eq = crate::primitives::equals(&mut g, &a, &b);
+    let gt = g.nor(lt, eq);
+    g.add_output(lt, "lt");
+    g.add_output(eq, "eq");
+    g.add_output(gt, "gt");
+    g
+}
+
+/// Priority encoder: `n` request inputs, outputs the index of the
+/// highest-priority (lowest-index) asserted input plus a `valid` flag.
+pub fn priority_encoder(n: usize) -> Aig {
+    assert!(n > 1, "need at least two inputs");
+    let idx_bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    let mut g = Aig::new(format!("prio{n}"), n);
+    let req = input_word(&mut g, 0, n, "r");
+    let mut taken = Lit::FALSE;
+    let mut idx = vec![Lit::FALSE; idx_bits];
+    for (i, &r) in req.iter().enumerate() {
+        let here = g.and(!taken, r);
+        for (b, slot) in idx.iter_mut().enumerate() {
+            if i >> b & 1 == 1 {
+                *slot = g.or(*slot, here);
+            }
+        }
+        taken = g.or(taken, r);
+    }
+    output_word(&mut g, &idx, "i");
+    g.add_output(taken, "valid");
+    g
+}
+
+/// Binary decoder: `k` select inputs to `2^k` one-hot outputs.
+pub fn decoder(k: usize) -> Aig {
+    assert!((1..=10).contains(&k), "k must be in 1..=10");
+    let mut g = Aig::new(format!("dec{k}"), k);
+    let sel = input_word(&mut g, 0, k, "s");
+    let hot = minterms(&mut g, &sel);
+    output_word(&mut g, &hot, "y");
+    g
+}
+
+/// Parity tree over `n` inputs.
+pub fn parity(n: usize) -> Aig {
+    assert!(n > 0, "need at least one input");
+    let mut g = Aig::new(format!("parity{n}"), n);
+    let ins = input_word(&mut g, 0, n, "x");
+    let p = g.xor_many(&ins);
+    g.add_output(p, "p");
+    g
+}
+
+/// Mux tree: `2^k` data inputs selected by `k` select inputs.
+pub fn mux_tree(k: usize) -> Aig {
+    assert!((1..=8).contains(&k), "k must be in 1..=8");
+    let n_data = 1usize << k;
+    let mut g = Aig::new(format!("mux{n_data}"), n_data + k);
+    let data = input_word(&mut g, 0, n_data, "d");
+    let sel = input_word(&mut g, n_data, k, "s");
+    let mut layer = data;
+    for &s in &sel {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(g.mux(s, pair[1], pair[0]));
+        }
+        layer = next;
+    }
+    g.add_output(layer[0], "y");
+    g
+}
+
+/// Parameters for [`random_logic`].
+#[derive(Debug, Clone)]
+pub struct RandomLogicSpec {
+    /// Number of primary inputs.
+    pub n_pis: usize,
+    /// Number of primary outputs.
+    pub n_pos: usize,
+    /// Number of AND gates to attempt (the final count is lower after
+    /// folding and sweeping).
+    pub n_gates: usize,
+    /// RNG seed; the same spec always generates the same circuit.
+    pub seed: u64,
+    /// Locality bias in `0.0..=1.0`: higher values make gates prefer
+    /// recently created signals, producing deeper circuits.
+    pub locality: f64,
+}
+
+/// Generates seeded random multi-level logic. Used as the stand-in for
+/// LGSynt91 control benchmarks whose netlists are not available: the
+/// structure (random reconvergent multi-level AND/OR/inverter logic) is
+/// what the ALS flow interacts with.
+pub fn random_logic(spec: &RandomLogicSpec) -> Aig {
+    assert!(spec.n_pis >= 2, "need at least two inputs");
+    assert!(spec.n_pos >= 1, "need at least one output");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut g = Aig::new(format!("rand{}", spec.seed), spec.n_pis);
+    let mut pool: Vec<Lit> = (0..spec.n_pis).map(|i| g.pi(i)).collect();
+    for _ in 0..spec.n_gates {
+        let pick = |rng: &mut StdRng, len: usize| -> usize {
+            if rng.gen_bool(spec.locality) {
+                // Bias towards the most recent quarter of the pool.
+                let lo = len - (len / 4).max(1);
+                rng.gen_range(lo..len)
+            } else {
+                rng.gen_range(0..len)
+            }
+        };
+        let a = pool[pick(&mut rng, pool.len())].xor_neg(rng.gen());
+        let b = pool[pick(&mut rng, pool.len())].xor_neg(rng.gen());
+        let l = g.and(a, b);
+        if !l.is_const() {
+            pool.push(l);
+        }
+    }
+    // Outputs: prefer late pool entries so most of the logic is live.
+    for o in 0..spec.n_pos {
+        let lo = pool.len().saturating_sub(spec.n_pos * 2).max(spec.n_pis);
+        let idx = if lo < pool.len() {
+            rng.gen_range(lo..pool.len())
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        let l = pool[idx].xor_neg(rng.gen());
+        g.add_output(l, format!("y{o}"));
+    }
+    let (compacted, _) = g.compact().expect("generated graphs are acyclic");
+    compacted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, encode};
+
+    #[test]
+    fn comparator_truth() {
+        let g = comparator(3);
+        for a in 0..8u128 {
+            for b in 0..8u128 {
+                let mut ins = encode(a, 3);
+                ins.extend(encode(b, 3));
+                let out = g.eval(&ins);
+                assert_eq!(out, vec![a < b, a == b, a > b], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest_index() {
+        let g = priority_encoder(6);
+        for pattern in 0..64u128 {
+            let out = g.eval(&encode(pattern, 6));
+            let valid = *out.last().unwrap();
+            assert_eq!(valid, pattern != 0);
+            if pattern != 0 {
+                let want = pattern.trailing_zeros() as u128;
+                assert_eq!(decode(&out[..out.len() - 1]), want, "pattern {pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let g = decoder(3);
+        for s in 0..8usize {
+            let out = g.eval(&encode(s as u128, 3));
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i == s);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        let g = parity(5);
+        for p in 0..32u128 {
+            let out = g.eval(&encode(p, 5));
+            assert_eq!(out[0], p.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let g = mux_tree(2);
+        for data in 0..16u128 {
+            for s in 0..4u128 {
+                let mut ins = encode(data, 4);
+                ins.extend(encode(s, 2));
+                let out = g.eval(&ins);
+                assert_eq!(out[0], data >> s & 1 == 1, "data {data:04b} sel {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_logic_is_deterministic_and_live() {
+        let spec = RandomLogicSpec {
+            n_pis: 10,
+            n_pos: 4,
+            n_gates: 200,
+            seed: 99,
+            locality: 0.7,
+        };
+        let g1 = random_logic(&spec);
+        let g2 = random_logic(&spec);
+        assert_eq!(g1.n_ands(), g2.n_ands());
+        assert_eq!(g1.n_pos(), 4);
+        assert!(g1.n_ands() > 50, "should retain substantial logic");
+        // Same function on a few patterns.
+        for p in [0u128, 1, 511, 1023] {
+            assert_eq!(g1.eval(&encode(p, 10)), g2.eval(&encode(p, 10)));
+        }
+    }
+}

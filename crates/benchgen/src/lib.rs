@@ -1,0 +1,73 @@
+//! Parameterized benchmark-circuit generators.
+//!
+//! The AccALS paper evaluates on ISCAS-85, small arithmetic, EPFL
+//! arithmetic, and LGSynt91 circuits. Those netlist files are not
+//! redistributable here, so this crate generates functional equivalents
+//! from scratch:
+//!
+//! - exact functional analogues for the arithmetic circuits
+//!   ([`adders`], [`multipliers`], [`divsqrt`]),
+//! - functional stand-ins of comparable role and size for the ISCAS and
+//!   LGSynt91 control circuits ([`alu`], [`ecc`], [`control`]),
+//! - scaled-down generators for the large EPFL arithmetic circuits
+//!   ([`divsqrt`], [`nonlinear`]).
+//!
+//! The [`suite`] module names the concrete circuits used by the
+//! experiment harness, mirroring Table I of the paper.
+//!
+//! All generators share one convention: multi-bit ports are
+//! least-significant-bit first, and output 0 is the LSB of the primary
+//! result, matching the value decoding in the `errmetrics` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use benchgen::adders::rca;
+//!
+//! let g = rca(8);
+//! assert_eq!(g.n_pis(), 16);
+//! assert_eq!(g.n_pos(), 9); // 8 sum bits + carry out
+//! // 3 + 5 = 8.
+//! let mut ins = vec![false; 16];
+//! ins[0] = true; ins[1] = true;        // a = 3
+//! ins[8] = true; ins[10] = true;       // b = 5
+//! let out = g.eval(&ins);
+//! let sum: u32 = out.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
+//! assert_eq!(sum, 8);
+//! ```
+
+pub mod adders;
+pub mod alu;
+pub mod control;
+pub mod divsqrt;
+pub mod ecc;
+pub mod multipliers;
+pub mod nonlinear;
+pub mod primitives;
+pub mod suite;
+
+/// Decodes an output vector (LSB first) into an integer, for tests and
+/// examples.
+pub fn decode(bits: &[bool]) -> u128 {
+    bits.iter()
+        .enumerate()
+        .map(|(i, &b)| (b as u128) << i)
+        .sum()
+}
+
+/// Encodes `value` into `width` input bits (LSB first).
+pub fn encode(value: u128, width: usize) -> Vec<bool> {
+    (0..width).map(|i| value >> i & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for v in [0u128, 1, 5, 255, 256, 12345] {
+            assert_eq!(decode(&encode(v, 20)), v);
+        }
+    }
+}

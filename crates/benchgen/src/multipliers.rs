@@ -1,0 +1,231 @@
+//! Multiplier generators: array (carry-save rows) and Wallace-tree.
+//!
+//! Both multiply two `width`-bit unsigned operands into a `2 * width`-bit
+//! product (outputs LSB first). These are the `mtp8` and `wal8` circuits
+//! of the paper's small-arithmetic suite.
+
+use crate::primitives::{full_adder, half_adder, input_word, output_word};
+use aig::{Aig, Lit};
+
+fn partial_products(g: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Vec<Lit>> {
+    // columns[c] holds the partial-product bits of weight 2^c.
+    let mut columns = vec![Vec::new(); a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = g.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    columns
+}
+
+/// Array multiplier: partial products reduced row by row with
+/// ripple-carry adders.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn array_multiplier(width: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    let mut g = Aig::new(format!("mtp{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    // Row-wise accumulation: acc += (a & b[j]) << j.
+    let mut acc: Vec<Lit> = (0..2 * width).map(|_| Lit::FALSE).collect();
+    for (j, &bj) in b.iter().enumerate() {
+        let row: Vec<Lit> = a.iter().map(|&ai| g.and(ai, bj)).collect();
+        let mut carry = Lit::FALSE;
+        for (i, &r) in row.iter().enumerate() {
+            let (s, c) = full_adder(&mut g, acc[i + j], r, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        // Propagate the final carry into the higher bits.
+        let mut k = j + width;
+        while carry != Lit::FALSE && k < 2 * width {
+            let (s, c) = half_adder(&mut g, acc[k], carry);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    output_word(&mut g, &acc, "p");
+    g
+}
+
+/// Wallace-tree multiplier: column-wise 3:2 and 2:2 compression followed
+/// by a final ripple-carry addition.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn wallace_multiplier(width: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    let mut g = Aig::new(format!("wal{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let mut columns = partial_products(&mut g, &a, &b);
+    // Compress until every column has at most two bits.
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next = vec![Vec::new(); columns.len()];
+        for (c, col) in columns.iter().enumerate() {
+            let mut i = 0;
+            while col.len() - i >= 3 {
+                let (s, cy) = full_adder(&mut g, col[i], col[i + 1], col[i + 2]);
+                next[c].push(s);
+                if c + 1 < next.len() {
+                    next[c + 1].push(cy);
+                }
+                i += 3;
+            }
+            if col.len() - i == 2 {
+                let (s, cy) = half_adder(&mut g, col[i], col[i + 1]);
+                next[c].push(s);
+                if c + 1 < next.len() {
+                    next[c + 1].push(cy);
+                }
+            } else if col.len() - i == 1 {
+                next[c].push(col[i]);
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate addition over the two remaining rows.
+    let mut product = Vec::with_capacity(2 * width);
+    let mut carry = Lit::FALSE;
+    for col in &columns {
+        let (x, y) = match col.len() {
+            0 => (Lit::FALSE, Lit::FALSE),
+            1 => (col[0], Lit::FALSE),
+            _ => (col[0], col[1]),
+        };
+        let (s, c) = full_adder(&mut g, x, y, carry);
+        product.push(s);
+        carry = c;
+    }
+    product.truncate(2 * width);
+    output_word(&mut g, &product, "p");
+    g
+}
+
+/// Dadda-tree multiplier: column compression following the Dadda height
+/// sequence (2, 3, 4, 6, 9, ...), using the minimum number of
+/// counters, then a final carry-propagate addition.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn dadda_multiplier(width: usize) -> Aig {
+    assert!(width > 0, "width must be positive");
+    let mut g = Aig::new(format!("dad{width}"), 2 * width);
+    let a = input_word(&mut g, 0, width, "a");
+    let b = input_word(&mut g, width, width, "b");
+    let mut columns = partial_products(&mut g, &a, &b);
+    // Dadda height sequence below the current maximum height.
+    let max_height = columns.iter().map(Vec::len).max().unwrap_or(0);
+    let mut targets = vec![2usize];
+    while *targets.last().expect("nonempty") < max_height {
+        let last = *targets.last().expect("nonempty");
+        targets.push(last * 3 / 2);
+    }
+    for &target in targets.iter().rev() {
+        if target >= max_height && target != 2 {
+            continue;
+        }
+        let mut next = vec![Vec::new(); columns.len()];
+        for c in 0..columns.len() {
+            let mut col: Vec<Lit> = std::mem::take(&mut columns[c]);
+            col.extend(next[c].drain(..));
+            // Reduce just enough to reach the target height.
+            while col.len() > target {
+                if col.len() == target + 1 {
+                    let (s, cy) = half_adder(&mut g, col[0], col[1]);
+                    col.drain(..2);
+                    col.push(s);
+                    if c + 1 < next.len() {
+                        next[c + 1].push(cy);
+                    }
+                } else {
+                    let (s, cy) = full_adder(&mut g, col[0], col[1], col[2]);
+                    col.drain(..3);
+                    col.push(s);
+                    if c + 1 < next.len() {
+                        next[c + 1].push(cy);
+                    }
+                }
+            }
+            columns[c] = col;
+        }
+        // Carries that remained unmerged flow into the next stage.
+        for c in 0..columns.len() {
+            let pending: Vec<Lit> = next[c].drain(..).collect();
+            columns[c].extend(pending);
+        }
+    }
+    // Final two-row carry-propagate addition.
+    let mut product = Vec::with_capacity(2 * width);
+    let mut carry = Lit::FALSE;
+    for col in &columns {
+        let (x, y) = match col.len() {
+            0 => (Lit::FALSE, Lit::FALSE),
+            1 => (col[0], Lit::FALSE),
+            2 => (col[0], col[1]),
+            n => panic!("column still has {n} bits after Dadda reduction"),
+        };
+        let (s, c) = full_adder(&mut g, x, y, carry);
+        product.push(s);
+        carry = c;
+    }
+    product.truncate(2 * width);
+    output_word(&mut g, &product, "p");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode, encode};
+
+    fn check_multiplier(g: &aig::Aig, width: usize) {
+        let cases: Vec<(u128, u128)> = if width <= 4 {
+            (0..1u128 << width)
+                .flat_map(|x| (0..1u128 << width).map(move |y| (x, y)))
+                .collect()
+        } else {
+            let m = (1u128 << width) - 1;
+            vec![(0, 0), (1, m), (m, m), (m / 3, 5), (0xA5 & m, 0x5A & m), (m, 2)]
+        };
+        for (x, y) in cases {
+            let mut ins = encode(x, width);
+            ins.extend(encode(y, width));
+            assert_eq!(decode(&g.eval(&ins)), x * y, "{} * {} (w={})", x, y, width);
+        }
+    }
+
+    #[test]
+    fn array_multiplier_is_correct() {
+        for w in [1, 2, 3, 4, 8] {
+            check_multiplier(&super::array_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn wallace_multiplier_is_correct() {
+        for w in [1, 2, 3, 4, 8] {
+            check_multiplier(&super::wallace_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn dadda_multiplier_is_correct() {
+        for w in [1, 2, 3, 4, 8] {
+            check_multiplier(&super::dadda_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        let arr = super::array_multiplier(8);
+        let wal = super::wallace_multiplier(8);
+        assert!(wal.depth().unwrap() < arr.depth().unwrap());
+    }
+}

@@ -1,0 +1,213 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of input patterns, stored bit-parallel: one signature (a slice of
+/// `u64` words) per primary input, with pattern `p` living in bit `p % 64`
+/// of word `p / 64`.
+#[derive(Debug, Clone)]
+pub struct Patterns {
+    n_pis: usize,
+    n_patterns: usize,
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl Patterns {
+    /// All `2^n_pis` input patterns, in binary counting order (input `i`
+    /// toggles with period `2^i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pis > 24` (the pattern set would exceed 16M patterns).
+    pub fn exhaustive(n_pis: usize) -> Self {
+        assert!(n_pis <= 24, "exhaustive patterns limited to 24 inputs");
+        let n_patterns = 1usize << n_pis;
+        let stride = n_patterns.div_ceil(64);
+        let mut words = vec![0u64; n_pis * stride];
+        for i in 0..n_pis {
+            let sig = &mut words[i * stride..(i + 1) * stride];
+            if i < 6 {
+                // Period fits inside a word: replicate the base pattern.
+                let period = 1u64 << i;
+                let mut w = 0u64;
+                for b in 0..64 {
+                    if (b / period as usize) % 2 == 1 {
+                        w |= 1 << b;
+                    }
+                }
+                for word in sig.iter_mut() {
+                    *word = w;
+                }
+            } else {
+                // Whole words alternate between all-0 and all-1.
+                let word_period = 1usize << (i - 6);
+                for (wi, word) in sig.iter_mut().enumerate() {
+                    if (wi / word_period) % 2 == 1 {
+                        *word = u64::MAX;
+                    }
+                }
+            }
+        }
+        Patterns {
+            n_pis,
+            n_patterns,
+            stride,
+            words,
+        }
+    }
+
+    /// `n_patterns` uniformly random patterns from a seeded generator.
+    ///
+    /// The same `(n_pis, n_patterns, seed)` triple always produces the
+    /// same patterns, making experiments reproducible.
+    pub fn random(n_pis: usize, n_patterns: usize, seed: u64) -> Self {
+        assert!(n_patterns > 0, "need at least one pattern");
+        let stride = n_patterns.div_ceil(64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = (0..n_pis * stride).map(|_| rng.gen()).collect();
+        Patterns {
+            n_pis,
+            n_patterns,
+            stride,
+            words,
+        }
+    }
+
+    /// `n_patterns` random patterns where input `i` is 1 with
+    /// probability `prob_one[i]` — a non-uniform input distribution, as
+    /// supported by the AccALS framework ("any input distribution").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob_one.len() != n_pis` or a probability is outside
+    /// `[0, 1]`.
+    pub fn biased(n_pis: usize, n_patterns: usize, prob_one: &[f64], seed: u64) -> Self {
+        assert_eq!(prob_one.len(), n_pis, "need one probability per input");
+        assert!(
+            prob_one.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must be in [0, 1]"
+        );
+        assert!(n_patterns > 0, "need at least one pattern");
+        let stride = n_patterns.div_ceil(64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut words = vec![0u64; n_pis * stride];
+        for (i, &p) in prob_one.iter().enumerate() {
+            for w in 0..stride {
+                let mut word = 0u64;
+                for b in 0..64 {
+                    if rng.gen_bool(p) {
+                        word |= 1 << b;
+                    }
+                }
+                words[i * stride + w] = word;
+            }
+        }
+        Patterns {
+            n_pis,
+            n_patterns,
+            stride,
+            words,
+        }
+    }
+
+    /// Chooses exhaustive patterns when `2^n_pis <= max_exhaustive`,
+    /// otherwise `n_random` seeded-random patterns. This mirrors standard
+    /// ALS practice: exact statistics for small circuits, Monte-Carlo for
+    /// large ones.
+    pub fn for_circuit(n_pis: usize, max_exhaustive: usize, n_random: usize, seed: u64) -> Self {
+        if n_pis < usize::BITS as usize && (1usize << n_pis) <= max_exhaustive {
+            Patterns::exhaustive(n_pis)
+        } else {
+            Patterns::random(n_pis, n_random, seed)
+        }
+    }
+
+    /// Number of primary inputs covered.
+    pub fn n_pis(&self) -> usize {
+        self.n_pis
+    }
+
+    /// Number of valid patterns.
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Number of `u64` words per signature.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The signature of primary input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_pis`.
+    pub fn pi_sig(&self, i: usize) -> &[u64] {
+        assert!(i < self.n_pis, "input {i} out of range");
+        &self.words[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The value of input `i` under pattern `p`.
+    pub fn bit(&self, i: usize, p: usize) -> bool {
+        assert!(p < self.n_patterns);
+        self.pi_sig(i)[p / 64] >> (p % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_counts_in_binary() {
+        let pats = Patterns::exhaustive(3);
+        assert_eq!(pats.n_patterns(), 8);
+        for p in 0..8 {
+            for i in 0..3 {
+                assert_eq!(pats.bit(i, p), p >> i & 1 == 1, "input {i} pattern {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_wide_inputs_alternate_words() {
+        let pats = Patterns::exhaustive(8);
+        assert_eq!(pats.n_patterns(), 256);
+        assert_eq!(pats.stride(), 4);
+        // Input 6 toggles every 64 patterns, input 7 every 128.
+        assert_eq!(pats.pi_sig(6), &[0, u64::MAX, 0, u64::MAX]);
+        assert_eq!(pats.pi_sig(7), &[0, 0, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Patterns::random(5, 200, 42);
+        let b = Patterns::random(5, 200, 42);
+        let c = Patterns::random(5, 200, 43);
+        assert_eq!(a.words, b.words);
+        assert_ne!(a.words, c.words);
+        assert_eq!(a.n_patterns(), 200);
+        assert_eq!(a.stride(), 4);
+    }
+
+    #[test]
+    fn biased_patterns_respect_probabilities() {
+        let probs = [0.0, 1.0, 0.1, 0.9];
+        let pats = Patterns::biased(4, 6400, &probs, 3);
+        for (i, &p) in probs.iter().enumerate() {
+            let ones = (0..6400).filter(|&j| pats.bit(i, j)).count() as f64 / 6400.0;
+            assert!(
+                (ones - p).abs() < 0.03,
+                "input {i}: observed {ones}, expected {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_circuit_switches_modes() {
+        let small = Patterns::for_circuit(4, 1 << 14, 1024, 1);
+        assert_eq!(small.n_patterns(), 16);
+        let large = Patterns::for_circuit(40, 1 << 14, 1024, 1);
+        assert_eq!(large.n_patterns(), 1024);
+    }
+}

@@ -1,0 +1,159 @@
+use crate::patterns::Patterns;
+use aig::{Aig, Node, NodeId};
+
+/// The result of a bit-parallel simulation: one signature per node.
+#[derive(Debug, Clone)]
+pub struct Sim {
+    stride: usize,
+    n_patterns: usize,
+    words: Vec<u64>,
+}
+
+impl Sim {
+    /// The signature (64-way packed values) of node `n`.
+    pub fn sig(&self, n: NodeId) -> &[u64] {
+        &self.words[n.index() * self.stride..(n.index() + 1) * self.stride]
+    }
+
+    /// Number of `u64` words per signature.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of valid patterns.
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Number of nodes covered.
+    pub fn n_nodes(&self) -> usize {
+        self.words.len() / self.stride.max(1)
+    }
+
+    /// The signature of output `o` of `aig`, with the output polarity
+    /// applied (an owned copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of range.
+    pub fn output_sig(&self, aig: &Aig, o: usize) -> Vec<u64> {
+        let out = &aig.outputs()[o];
+        let base = self.sig(out.lit.node());
+        if out.lit.is_neg() {
+            base.iter().map(|w| !w).collect()
+        } else {
+            base.to_vec()
+        }
+    }
+
+    /// The signatures of all outputs of `aig`, polarities applied.
+    pub fn output_sigs(&self, aig: &Aig) -> Vec<Vec<u64>> {
+        (0..aig.n_pos()).map(|o| self.output_sig(aig, o)).collect()
+    }
+
+    /// The value of node `n` under pattern `p`.
+    pub fn bit(&self, n: NodeId, p: usize) -> bool {
+        assert!(p < self.n_patterns);
+        self.sig(n)[p / 64] >> (p % 64) & 1 == 1
+    }
+}
+
+/// Simulates `aig` on the whole pattern set, producing a signature for
+/// every node.
+///
+/// # Panics
+///
+/// Panics if `pats.n_pis() != aig.n_pis()` or if the graph is cyclic.
+pub fn simulate(aig: &Aig, pats: &Patterns) -> Sim {
+    assert_eq!(
+        pats.n_pis(),
+        aig.n_pis(),
+        "pattern set covers {} inputs but circuit has {}",
+        pats.n_pis(),
+        aig.n_pis()
+    );
+    let stride = pats.stride();
+    let order = aig.topo_order().expect("simulation requires an acyclic graph");
+    let mut words = vec![0u64; aig.n_nodes() * stride];
+    for id in order {
+        let i = id.index();
+        match *aig.node(id) {
+            Node::Const0 => {}
+            Node::Input(k) => {
+                words[i * stride..(i + 1) * stride].copy_from_slice(pats.pi_sig(k as usize));
+            }
+            Node::And(a, b) => {
+                let (an, bn) = (a.node().index(), b.node().index());
+                let (a_neg, b_neg) = (a.is_neg(), b.is_neg());
+                for w in 0..stride {
+                    let wa = words[an * stride + w] ^ if a_neg { u64::MAX } else { 0 };
+                    let wb = words[bn * stride + w] ^ if b_neg { u64::MAX } else { 0 };
+                    words[i * stride + w] = wa & wb;
+                }
+            }
+        }
+    }
+    Sim {
+        stride,
+        n_patterns: pats.n_patterns(),
+        words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::Lit;
+
+    fn adder2() -> Aig {
+        let mut g = Aig::new("add2", 4);
+        let (a0, a1, b0, b1) = (g.pi(0), g.pi(1), g.pi(2), g.pi(3));
+        let s0 = g.xor(a0, b0);
+        let c0 = g.and(a0, b0);
+        let t = g.xor(a1, b1);
+        let s1 = g.xor(t, c0);
+        let c1a = g.and(a1, b1);
+        let c1b = g.and(t, c0);
+        let c1 = g.or(c1a, c1b);
+        g.add_output(s0, "s0");
+        g.add_output(s1, "s1");
+        g.add_output(c1, "s2");
+        g
+    }
+
+    #[test]
+    fn simulation_matches_reference_eval() {
+        let g = adder2();
+        let pats = Patterns::exhaustive(4);
+        let sim = simulate(&g, &pats);
+        for p in 0..16 {
+            let ins: Vec<bool> = (0..4).map(|i| pats.bit(i, p)).collect();
+            let want = g.eval(&ins);
+            for (o, w) in want.iter().enumerate() {
+                let sig = sim.output_sig(&g, o);
+                assert_eq!(sig[p / 64] >> (p % 64) & 1 == 1, *w, "output {o} pattern {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_complemented_outputs() {
+        let mut g = Aig::new("t", 1);
+        g.add_output(Lit::TRUE, "one");
+        g.add_output(!g.pi(0), "na");
+        let pats = Patterns::exhaustive(1);
+        let sim = simulate(&g, &pats);
+        assert_eq!(sim.output_sig(&g, 0)[0] & 0b11, 0b11);
+        assert_eq!(sim.output_sig(&g, 1)[0] & 0b11, 0b01);
+    }
+
+    #[test]
+    fn random_simulation_has_expected_shape() {
+        let g = adder2();
+        let pats = Patterns::random(4, 1000, 7);
+        let sim = simulate(&g, &pats);
+        assert_eq!(sim.n_patterns(), 1000);
+        assert_eq!(sim.stride(), 16);
+        assert_eq!(sim.n_nodes(), g.n_nodes());
+    }
+}

@@ -1,0 +1,316 @@
+//! AIGER reader/writer (combinational subset: no latches).
+//!
+//! Supports the ASCII (`aag`) and binary (`aig`) variants, symbol tables,
+//! and comments. See the AIGER format description by Biere et al.
+
+use crate::ParseError;
+use aig::{Aig, Lit};
+
+/// Serializes `aig` in ASCII AIGER (`aag`) format with a symbol table.
+///
+/// The graph is compacted first, so dangling nodes are not emitted.
+pub fn write_ascii(aig: &Aig) -> String {
+    let (g, _) = aig.compact().expect("acyclic");
+    let i = g.n_pis();
+    let a = g.n_ands();
+    let m = i + a;
+    let mut s = format!("aag {m} {i} 0 {} {a}\n", g.n_pos());
+    for k in 0..i {
+        s.push_str(&format!("{}\n", (k + 1) * 2));
+    }
+    for o in g.outputs() {
+        s.push_str(&format!("{}\n", o.lit.raw()));
+    }
+    for id in g.and_ids() {
+        let (f0, f1) = g.fanins(id).expect("and node");
+        s.push_str(&format!("{} {} {}\n", id.index() * 2, f0.raw(), f1.raw()));
+    }
+    for k in 0..i {
+        s.push_str(&format!("i{k} {}\n", g.pi_name(k)));
+    }
+    for (k, o) in g.outputs().iter().enumerate() {
+        s.push_str(&format!("o{k} {}\n", o.name));
+    }
+    s.push_str(&format!("c\n{}\n", g.name()));
+    s
+}
+
+/// Parses ASCII AIGER (`aag`) text into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input, latches, or forward
+/// references.
+pub fn read_ascii(text: &str) -> Result<Aig, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::new("empty input"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseError::at("expected `aag M I L O A` header", 1));
+    }
+    let parse = |s: &str, line: usize| -> Result<usize, ParseError> {
+        s.parse()
+            .map_err(|_| ParseError::at(format!("bad number `{s}`"), line))
+    };
+    let m = parse(fields[1], 1)?;
+    let i = parse(fields[2], 1)?;
+    let l = parse(fields[3], 1)?;
+    let o = parse(fields[4], 1)?;
+    let a = parse(fields[5], 1)?;
+    if l != 0 {
+        return Err(ParseError::at("latches are not supported", 1));
+    }
+    if m < i + a {
+        return Err(ParseError::at("inconsistent header counts", 1));
+    }
+
+    let mut g = Aig::new("aiger", i);
+    // Map AIGER variable -> literal in our graph.
+    let mut var_map: Vec<Option<Lit>> = vec![None; m + 1];
+    var_map[0] = Some(Lit::FALSE);
+
+    let mut next = |expected: &str| -> Result<(usize, String), ParseError> {
+        lines
+            .next()
+            .map(|(n, s)| (n + 1, s.to_string()))
+            .ok_or_else(|| ParseError::new(format!("unexpected end of file, expected {expected}")))
+    };
+
+    for k in 0..i {
+        let (line, s) = next("an input literal")?;
+        let lit: usize = parse(s.trim(), line)?;
+        if lit % 2 != 0 || lit == 0 {
+            return Err(ParseError::at("input literal must be even and nonzero", line));
+        }
+        let var = lit / 2;
+        if var > m || var_map[var].is_some() {
+            return Err(ParseError::at("bad input variable", line));
+        }
+        var_map[var] = Some(g.pi(k));
+    }
+    let mut output_lits = Vec::with_capacity(o);
+    for _ in 0..o {
+        let (line, s) = next("an output literal")?;
+        output_lits.push((parse(s.trim(), line)?, line));
+    }
+    for _ in 0..a {
+        let (line, s) = next("an AND definition")?;
+        let nums: Vec<&str> = s.split_whitespace().collect();
+        if nums.len() != 3 {
+            return Err(ParseError::at("expected `lhs rhs0 rhs1`", line));
+        }
+        let lhs = parse(nums[0], line)?;
+        let rhs0 = parse(nums[1], line)?;
+        let rhs1 = parse(nums[2], line)?;
+        if lhs % 2 != 0 || lhs == 0 {
+            return Err(ParseError::at("AND lhs must be even and nonzero", line));
+        }
+        let var = lhs / 2;
+        if var > m || var_map[var].is_some() {
+            return Err(ParseError::at("AND variable redefined or out of range", line));
+        }
+        let lookup = |raw: usize| -> Result<Lit, ParseError> {
+            let v = raw / 2;
+            if v > m {
+                return Err(ParseError::at("fanin variable out of range", line));
+            }
+            var_map[v]
+                .map(|lit| lit.xor_neg(raw % 2 == 1))
+                .ok_or_else(|| ParseError::at("forward reference in AND fanin", line))
+        };
+        let f0 = lookup(rhs0)?;
+        let f1 = lookup(rhs1)?;
+        var_map[var] = Some(g.and(f0, f1));
+    }
+    for (raw, line) in output_lits {
+        let v = raw / 2;
+        if v > m {
+            return Err(ParseError::at("output variable out of range", line));
+        }
+        let lit = var_map[v]
+            .map(|l| l.xor_neg(raw % 2 == 1))
+            .ok_or_else(|| ParseError::at("output references undefined variable", line))?;
+        g.add_output(lit, format!("o{}", g.n_pos()));
+    }
+    // Symbol table, then comments (first comment line = circuit name).
+    let mut in_comments = false;
+    for (n, s) in lines {
+        let line = n + 1;
+        let s = s.trim();
+        if in_comments {
+            if !s.is_empty() {
+                g.set_name(s.to_string());
+            }
+            break;
+        }
+        if s == "c" {
+            in_comments = true;
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix('i') {
+            let (idx, name) = split_symbol(rest, line)?;
+            if idx < i {
+                g.set_pi_name(idx, name);
+            }
+        } else if let Some(rest) = s.strip_prefix('o') {
+            let (idx, name) = split_symbol(rest, line)?;
+            if idx < g.n_pos() {
+                g.set_output_name(idx, name).expect("index checked");
+            }
+        }
+    }
+    Ok(g)
+}
+
+fn split_symbol(rest: &str, line: usize) -> Result<(usize, String), ParseError> {
+    let mut parts = rest.splitn(2, ' ');
+    let idx: usize = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| ParseError::at("bad symbol index", line))?;
+    let name = parts.next().unwrap_or("").to_string();
+    Ok((idx, name))
+}
+
+/// Serializes `aig` in binary AIGER (`aig`) format.
+pub fn write_binary(aig: &Aig) -> Vec<u8> {
+    let (g, _) = aig.compact().expect("acyclic");
+    let i = g.n_pis();
+    let a = g.n_ands();
+    let m = i + a;
+    let mut out = format!("aig {m} {i} 0 {} {a}\n", g.n_pos()).into_bytes();
+    for o in g.outputs() {
+        out.extend_from_slice(format!("{}\n", o.lit.raw()).as_bytes());
+    }
+    for id in g.and_ids() {
+        let (f0, f1) = g.fanins(id).expect("and node");
+        let lhs = (id.index() * 2) as u32;
+        let (mut r0, mut r1) = (f0.raw(), f1.raw());
+        if r0 < r1 {
+            std::mem::swap(&mut r0, &mut r1);
+        }
+        write_leb(&mut out, lhs - r0);
+        write_leb(&mut out, r0 - r1);
+    }
+    out
+}
+
+/// Parses binary AIGER (`aig`) bytes into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or latches.
+pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseError> {
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ParseError::new("missing header"))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| ParseError::new("header is not UTF-8"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aig" {
+        return Err(ParseError::new("expected `aig M I L O A` header"));
+    }
+    let nums: Vec<usize> = fields[1..]
+        .iter()
+        .map(|s| s.parse().map_err(|_| ParseError::new("bad header number")))
+        .collect::<Result<_, _>>()?;
+    let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    if l != 0 {
+        return Err(ParseError::new("latches are not supported"));
+    }
+    if m != i + a {
+        return Err(ParseError::new("binary AIGER requires M = I + A"));
+    }
+    let mut pos = header_end + 1;
+    let mut outputs = Vec::with_capacity(o);
+    for _ in 0..o {
+        let end = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| ParseError::new("truncated output list"))?;
+        let s = std::str::from_utf8(&bytes[pos..pos + end])
+            .map_err(|_| ParseError::new("output literal is not UTF-8"))?;
+        outputs.push(
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| ParseError::new("bad output literal"))?,
+        );
+        pos += end + 1;
+    }
+    let mut g = Aig::new("aiger", i);
+    let mut lits: Vec<Lit> = Vec::with_capacity(m + 1);
+    lits.push(Lit::FALSE);
+    for k in 0..i {
+        lits.push(g.pi(k));
+    }
+    for k in 0..a {
+        let lhs = 2 * (i + k + 1) as u32;
+        let d0 = read_leb(bytes, &mut pos)?;
+        let d1 = read_leb(bytes, &mut pos)?;
+        let r0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| ParseError::new("delta underflow"))?;
+        let r1 = r0
+            .checked_sub(d1)
+            .ok_or_else(|| ParseError::new("delta underflow"))?;
+        let f = |raw: u32| -> Result<Lit, ParseError> {
+            let v = (raw / 2) as usize;
+            if v >= lits.len() {
+                return Err(ParseError::new("fanin out of range"));
+            }
+            Ok(lits[v].xor_neg(raw % 2 == 1))
+        };
+        let lit = {
+            let f0 = f(r0)?;
+            let f1 = f(r1)?;
+            g.and(f0, f1)
+        };
+        lits.push(lit);
+    }
+    for raw in outputs {
+        let v = raw / 2;
+        if v >= lits.len() {
+            return Err(ParseError::new("output out of range"));
+        }
+        g.add_output(lits[v].xor_neg(raw % 2 == 1), format!("o{}", g.n_pos()));
+    }
+    Ok(g)
+}
+
+fn write_leb(out: &mut Vec<u8>, mut x: u32) {
+    loop {
+        let mut byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if x == 0 {
+            break;
+        }
+    }
+}
+
+fn read_leb(bytes: &[u8], pos: &mut usize) -> Result<u32, ParseError> {
+    let mut x = 0u32;
+    let mut shift = 0;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or_else(|| ParseError::new("truncated binary AND section"))?;
+        *pos += 1;
+        x |= ((b & 0x7F) as u32) << shift;
+        if b & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(ParseError::new("LEB128 value too large"));
+        }
+    }
+}
+

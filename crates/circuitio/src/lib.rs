@@ -1,0 +1,62 @@
+//! Readers and writers for standard combinational circuit formats.
+//!
+//! - [`aiger`] — the AIGER format, both ASCII (`aag`) and binary (`aig`),
+//!   including the symbol table. AIGER is the lingua franca of AIG-based
+//!   tools, so real benchmark files can be loaded into this workspace
+//!   when they are available.
+//! - [`blif`] — a combinational subset of Berkeley BLIF (`.model`,
+//!   `.inputs`, `.outputs`, `.names` with cube covers, `.end`).
+//!
+//! # Example
+//!
+//! ```
+//! use circuitio::aiger;
+//!
+//! let g = benchgen::adders::rca(4);
+//! let text = aiger::write_ascii(&g);
+//! let back = aiger::read_ascii(&text)?;
+//! assert_eq!(back.n_pis(), g.n_pis());
+//! assert_eq!(back.eval(&vec![true; 8]), g.eval(&vec![true; 8]));
+//! # Ok::<(), circuitio::ParseError>(())
+//! ```
+
+pub mod aiger;
+pub mod blif;
+
+use std::fmt;
+
+/// A parse failure, with the (1-based) line where it occurred when known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number, when meaningful.
+    pub line: Option<usize>,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    pub(crate) fn at(message: impl Into<String>, line: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

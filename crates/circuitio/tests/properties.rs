@@ -1,0 +1,107 @@
+//! Property tests: every random circuit survives a round trip through
+//! each format with its function intact.
+
+use aig::{Aig, Lit};
+use circuitio::{aiger, blif};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    n_pis: usize,
+    steps: Vec<(usize, bool, usize, bool)>,
+    outputs: Vec<(usize, bool)>,
+}
+
+fn build(recipe: &Recipe) -> Aig {
+    let mut g = Aig::new("random", recipe.n_pis);
+    let mut lits: Vec<Lit> = (0..recipe.n_pis).map(|i| g.pi(i)).collect();
+    lits.push(Lit::TRUE);
+    for &(ai, an, bi, bn) in &recipe.steps {
+        let a = lits[ai % lits.len()].xor_neg(an);
+        let b = lits[bi % lits.len()].xor_neg(bn);
+        lits.push(g.and(a, b));
+    }
+    for &(oi, on) in &recipe.outputs {
+        let l = lits[oi % lits.len()].xor_neg(on);
+        g.add_output(l, format!("y{}", g.n_pos()));
+    }
+    g
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (2usize..7, 0usize..50, 1usize..6).prop_flat_map(|(n_pis, n_steps, n_outs)| {
+        (
+            proptest::collection::vec(
+                (any::<usize>(), any::<bool>(), any::<usize>(), any::<bool>()),
+                n_steps,
+            ),
+            proptest::collection::vec((any::<usize>(), any::<bool>()), n_outs),
+        )
+            .prop_map(move |(steps, outputs)| Recipe {
+                n_pis,
+                steps,
+                outputs,
+            })
+    })
+}
+
+fn assert_equiv(a: &Aig, b: &Aig, n_pis: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.n_pis(), b.n_pis());
+    prop_assert_eq!(a.n_pos(), b.n_pos());
+    for p in 0..1usize << n_pis {
+        let ins: Vec<bool> = (0..n_pis).map(|i| p >> i & 1 == 1).collect();
+        prop_assert_eq!(a.eval(&ins), b.eval(&ins), "pattern {}", p);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aiger_ascii_round_trip(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let back = aiger::read_ascii(&aiger::write_ascii(&g)).expect("own output parses");
+        assert_equiv(&g, &back, recipe.n_pis)?;
+    }
+
+    #[test]
+    fn aiger_binary_round_trip(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let back = aiger::read_binary(&aiger::write_binary(&g)).expect("own output parses");
+        assert_equiv(&g, &back, recipe.n_pis)?;
+    }
+
+    #[test]
+    fn blif_round_trip(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let back = blif::read(&blif::write(&g)).expect("own output parses");
+        assert_equiv(&g, &back, recipe.n_pis)?;
+    }
+
+    #[test]
+    fn written_ascii_never_has_forward_references(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        let text = aiger::write_ascii(&g);
+        // Check the AIGER invariant directly: every AND lhs exceeds its
+        // rhs literals.
+        let mut lines = text.lines();
+        let header: Vec<usize> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .skip(1)
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let (i, o, a) = (header[1], header[3], header[4]);
+        let body: Vec<&str> = lines.collect();
+        for and_line in body.iter().skip(i + o).take(a) {
+            let nums: Vec<usize> = and_line
+                .split_whitespace()
+                .map(|s| s.parse().unwrap())
+                .collect();
+            prop_assert!(nums[0] > nums[1] && nums[0] > nums[2],
+                "AND ordering violated: {:?}", nums);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Round-trip tests: writing a circuit and reading it back must preserve
+//! its function across AIGER ASCII, AIGER binary, and BLIF.
+
+use aig::Aig;
+use circuitio::{aiger, blif};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn same_function(a: &Aig, b: &Aig, samples: usize, seed: u64) {
+    assert_eq!(a.n_pis(), b.n_pis());
+    assert_eq!(a.n_pos(), b.n_pos());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for s in 0..samples {
+        let ins: Vec<bool> = (0..a.n_pis()).map(|_| rng.gen()).collect();
+        assert_eq!(a.eval(&ins), b.eval(&ins), "sample {s}");
+    }
+}
+
+fn suite() -> Vec<Aig> {
+    vec![
+        benchgen::adders::rca(6),
+        benchgen::multipliers::wallace_multiplier(4),
+        benchgen::suite::by_name("c880").unwrap(),
+        benchgen::control::priority_encoder(9),
+    ]
+}
+
+#[test]
+fn aiger_ascii_round_trip() {
+    for g in suite() {
+        let text = aiger::write_ascii(&g);
+        let back = aiger::read_ascii(&text).unwrap();
+        same_function(&g, &back, 64, 1);
+    }
+}
+
+#[test]
+fn aiger_binary_round_trip() {
+    for g in suite() {
+        let bytes = aiger::write_binary(&g);
+        let back = aiger::read_binary(&bytes).unwrap();
+        same_function(&g, &back, 64, 2);
+    }
+}
+
+#[test]
+fn blif_round_trip() {
+    for g in suite() {
+        let text = blif::write(&g);
+        let back = blif::read(&text).unwrap();
+        same_function(&g, &back, 64, 3);
+    }
+}
+
+#[test]
+fn ascii_symbol_table_preserves_names() {
+    let mut g = Aig::new("named", 2);
+    g.set_pi_name(0, "alpha");
+    g.set_pi_name(1, "beta");
+    let y = g.and(g.pi(0), g.pi(1));
+    g.add_output(y, "gamma");
+    let text = aiger::write_ascii(&g);
+    let back = aiger::read_ascii(&text).unwrap();
+    assert_eq!(back.pi_name(0), "alpha");
+    assert_eq!(back.pi_name(1), "beta");
+    assert_eq!(back.outputs()[0].name, "gamma");
+}
+
+#[test]
+fn formats_cross_agree() {
+    let g = benchgen::adders::cla(8, 4);
+    let via_ascii = aiger::read_ascii(&aiger::write_ascii(&g)).unwrap();
+    let via_binary = aiger::read_binary(&aiger::write_binary(&g)).unwrap();
+    let via_blif = blif::read(&blif::write(&g)).unwrap();
+    same_function(&via_ascii, &via_binary, 32, 4);
+    same_function(&via_ascii, &via_blif, 32, 5);
+}
+
+#[test]
+fn constant_and_inverted_outputs_survive() {
+    let mut g = Aig::new("consts", 1);
+    g.add_output(aig::Lit::TRUE, "one");
+    g.add_output(aig::Lit::FALSE, "zero");
+    g.add_output(!g.pi(0), "na");
+    for back in [
+        aiger::read_ascii(&aiger::write_ascii(&g)).unwrap(),
+        aiger::read_binary(&aiger::write_binary(&g)).unwrap(),
+        blif::read(&blif::write(&g)).unwrap(),
+    ] {
+        assert_eq!(back.eval(&[false]), vec![true, false, true]);
+        assert_eq!(back.eval(&[true]), vec![true, false, false]);
+    }
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    assert!(aiger::read_ascii("").is_err());
+    assert!(aiger::read_ascii("aag 1 1 1 0 0\n2\n").is_err()); // latch
+    assert!(aiger::read_ascii("nonsense").is_err());
+    assert!(aiger::read_binary(b"aig 1 1").is_err());
+    assert!(blif::read(".model m\n.inputs a\n.latch a b\n.end").is_err());
+    assert!(blif::read(".model m\n.inputs a\n.outputs z\n.end").is_err()); // z undefined
+    let cyclic = ".model m\n.inputs a\n.outputs y\n.names x y\n1 1\n.names y x\n1 1\n.end";
+    assert!(blif::read(cyclic).is_err(), "combinational loop rejected");
+}
+
+#[test]
+fn blif_supports_dont_cares_and_continuations() {
+    let text = ".model t\n.inputs a b c\n.outputs y\n.names a b \\\nc y\n1-1 1\n01- 1\n.end";
+    let g = blif::read(text).unwrap();
+    // y = (a & c) | (!a & b)
+    assert_eq!(g.eval(&[true, false, true]), vec![true]);
+    assert_eq!(g.eval(&[false, true, false]), vec![true]);
+    assert_eq!(g.eval(&[true, true, false]), vec![false]);
+    assert_eq!(g.eval(&[false, false, true]), vec![false]);
+}
+
+#[test]
+fn blif_out_of_order_definitions_resolve() {
+    let text = ".model t\n.inputs a b\n.outputs y\n.names m y\n1 1\n.names a b m\n11 1\n.end";
+    let g = blif::read(text).unwrap();
+    assert_eq!(g.eval(&[true, true]), vec![true]);
+    assert_eq!(g.eval(&[true, false]), vec![false]);
+}
+
+#[test]
+fn ascii_comment_carries_the_circuit_name() {
+    let g = benchgen::adders::rca(4);
+    let back = aiger::read_ascii(&aiger::write_ascii(&g)).unwrap();
+    assert_eq!(back.name(), "rca4");
+}

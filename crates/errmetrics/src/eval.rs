@@ -1,0 +1,355 @@
+use crate::kinds::MetricKind;
+
+/// Incremental error evaluator.
+///
+/// The evaluator is anchored to the golden output signatures. Calling
+/// [`ErrorEval::rebase`] sets the current approximate circuit's output
+/// signatures; [`ErrorEval::current`] returns its error, and
+/// [`ErrorEval::with_flips`] returns the error the circuit *would* have if
+/// the given per-output flip masks were applied on top — without mutating
+/// the evaluator. For the arithmetic metrics the cost of `with_flips` is
+/// proportional to the number of flipped patterns, which is what makes
+/// scoring thousands of candidate changes per round cheap.
+#[derive(Debug, Clone)]
+pub struct ErrorEval {
+    kind: MetricKind,
+    n_patterns: usize,
+    stride: usize,
+    n_outputs: usize,
+    golden: Vec<Vec<u64>>,
+    golden_vals: Vec<u128>,
+    max_val: f64,
+    // State of the current approximate circuit.
+    diff: Vec<Vec<u64>>,
+    cur_vals: Vec<u128>,
+    contrib: Vec<f64>,
+    cur_sum: f64,
+    cur_max: f64,
+}
+
+impl ErrorEval {
+    /// Creates an evaluator anchored to `golden` output signatures. The
+    /// current circuit starts out identical to the golden one (zero
+    /// error); call [`ErrorEval::rebase`] to set it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `golden` is empty, if signatures are narrower than the
+    /// pattern count requires, or if an arithmetic metric is requested
+    /// with more than 128 outputs.
+    pub fn new(kind: MetricKind, golden: &[Vec<u64>], n_patterns: usize) -> Self {
+        assert!(!golden.is_empty(), "need at least one output");
+        let stride = n_patterns.div_ceil(64);
+        assert!(
+            golden.iter().all(|s| s.len() >= stride),
+            "signatures too short for {n_patterns} patterns"
+        );
+        let n_outputs = golden.len();
+        let arith = kind.is_arithmetic();
+        if arith {
+            assert!(
+                n_outputs <= 128,
+                "arithmetic metrics support at most 128 outputs, got {n_outputs}"
+            );
+        }
+        let golden_vals = if arith {
+            decode_values(golden, n_patterns)
+        } else {
+            Vec::new()
+        };
+        let max_val = if n_outputs >= 128 {
+            u128::MAX as f64
+        } else {
+            ((1u128 << n_outputs) - 1) as f64
+        };
+        let mut eval = ErrorEval {
+            kind,
+            n_patterns,
+            stride,
+            n_outputs,
+            max_val,
+            diff: vec![vec![0u64; stride]; n_outputs],
+            cur_vals: golden_vals.clone(),
+            contrib: vec![0.0; if arith { n_patterns } else { 0 }],
+            cur_sum: 0.0,
+            cur_max: 0.0,
+            golden: golden.iter().map(|s| s[..stride].to_vec()).collect(),
+            golden_vals,
+        };
+        eval.recompute_contributions();
+        eval
+    }
+
+    /// The metric kind this evaluator computes.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// The number of patterns in the sample.
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// The number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Words per signature.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Sets the current approximate circuit from its output signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature set has the wrong shape.
+    pub fn rebase(&mut self, approx: &[Vec<u64>]) {
+        assert_eq!(approx.len(), self.n_outputs, "output count mismatch");
+        for (o, sig) in approx.iter().enumerate() {
+            assert!(sig.len() >= self.stride, "signature too short");
+            for w in 0..self.stride {
+                self.diff[o][w] = self.golden[o][w] ^ sig[w];
+            }
+        }
+        if self.kind.is_arithmetic() {
+            self.cur_vals = decode_values(approx, self.n_patterns);
+        }
+        self.recompute_contributions();
+    }
+
+    fn recompute_contributions(&mut self) {
+        if !self.kind.is_arithmetic() {
+            return;
+        }
+        self.cur_sum = 0.0;
+        self.cur_max = 0.0;
+        for p in 0..self.n_patterns {
+            let c = self.pattern_contrib(self.cur_vals[p], self.golden_vals[p]);
+            self.contrib[p] = c;
+            self.cur_sum += c;
+            self.cur_max = self.cur_max.max(c);
+        }
+    }
+
+    fn pattern_contrib(&self, approx: u128, golden: u128) -> f64 {
+        let ed = approx.abs_diff(golden) as f64;
+        match self.kind {
+            MetricKind::Er => 0.0,
+            MetricKind::Med | MetricKind::Nmed | MetricKind::Wce => ed,
+            MetricKind::Mred => ed / (golden.max(1) as f64),
+            MetricKind::Mse => ed * ed,
+        }
+    }
+
+    fn finalize(&self, sum: f64, max: f64) -> f64 {
+        let n = self.n_patterns as f64;
+        match self.kind {
+            MetricKind::Er => sum / n,
+            MetricKind::Med | MetricKind::Mred | MetricKind::Mse => sum / n,
+            MetricKind::Nmed => sum / n / self.max_val,
+            MetricKind::Wce => max,
+        }
+    }
+
+    /// The error of the current approximate circuit.
+    pub fn current(&self) -> f64 {
+        match self.kind {
+            MetricKind::Er => {
+                let mut count = 0usize;
+                for w in 0..self.stride {
+                    let mut acc = 0u64;
+                    for o in 0..self.n_outputs {
+                        acc |= self.diff[o][w];
+                    }
+                    count += (acc & self.word_mask(w)).count_ones() as usize;
+                }
+                count as f64 / self.n_patterns as f64
+            }
+            _ => self.finalize(self.cur_sum, self.cur_max),
+        }
+    }
+
+    /// The error the circuit would have if the per-output `flips` masks
+    /// were XORed into the current output signatures.
+    ///
+    /// `flips[o]` must have at least `stride` words. Cost: `O(outputs ×
+    /// stride)` for ER, `O(outputs × stride + changed_patterns × outputs)`
+    /// for the mean arithmetic metrics, and `O(n_patterns)` for WCE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flips` has the wrong shape.
+    pub fn with_flips(&self, flips: &[Vec<u64>]) -> f64 {
+        assert_eq!(flips.len(), self.n_outputs, "output count mismatch");
+        match self.kind {
+            MetricKind::Er => {
+                let mut count = 0usize;
+                for w in 0..self.stride {
+                    let mut acc = 0u64;
+                    for o in 0..self.n_outputs {
+                        acc |= self.diff[o][w] ^ flips[o][w];
+                    }
+                    count += (acc & self.word_mask(w)).count_ones() as usize;
+                }
+                count as f64 / self.n_patterns as f64
+            }
+            MetricKind::Wce => {
+                let mut max = 0.0f64;
+                for p in 0..self.n_patterns {
+                    let val = self.cur_vals[p] ^ self.toggle_bits(flips, p);
+                    max = max.max(self.pattern_contrib(val, self.golden_vals[p]));
+                }
+                self.finalize(0.0, max)
+            }
+            _ => {
+                let mut sum = self.cur_sum;
+                for w in 0..self.stride {
+                    let mut union = 0u64;
+                    for o in 0..self.n_outputs {
+                        union |= flips[o][w];
+                    }
+                    union &= self.word_mask(w);
+                    while union != 0 {
+                        let b = union.trailing_zeros() as usize;
+                        union &= union - 1;
+                        let p = w * 64 + b;
+                        let val = self.cur_vals[p] ^ self.toggle_bits(flips, p);
+                        sum += self.pattern_contrib(val, self.golden_vals[p]) - self.contrib[p];
+                    }
+                }
+                self.finalize(sum, 0.0)
+            }
+        }
+    }
+
+    fn toggle_bits(&self, flips: &[Vec<u64>], p: usize) -> u128 {
+        let (w, b) = (p / 64, p % 64);
+        let mut toggle = 0u128;
+        for (o, f) in flips.iter().enumerate() {
+            if f[w] >> b & 1 == 1 {
+                toggle |= 1 << o;
+            }
+        }
+        toggle
+    }
+
+    #[inline]
+    fn word_mask(&self, w: usize) -> u64 {
+        let rem = self.n_patterns - w * 64;
+        if rem >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+}
+
+/// Decodes per-pattern output values (output 0 = LSB).
+fn decode_values(sigs: &[Vec<u64>], n_patterns: usize) -> Vec<u128> {
+    let mut vals = vec![0u128; n_patterns];
+    for (o, sig) in sigs.iter().enumerate() {
+        for (p, val) in vals.iter_mut().enumerate() {
+            if sig[p / 64] >> (p % 64) & 1 == 1 {
+                *val |= 1 << o;
+            }
+        }
+    }
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2-output golden circuit values: patterns 0..4 -> 0,1,2,3.
+    fn golden_2bit() -> Vec<Vec<u64>> {
+        // Output 0 (LSB) = 0b0101... pattern parity; output 1 = 0b0011 style.
+        vec![vec![0b1010], vec![0b1100]]
+    }
+
+    #[test]
+    fn zero_error_when_identical() {
+        let g = golden_2bit();
+        for kind in MetricKind::ALL {
+            let mut e = ErrorEval::new(kind, &g, 4);
+            e.rebase(&g.clone());
+            assert_eq!(e.current(), 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn er_counts_any_output_mismatch() {
+        let g = golden_2bit();
+        let mut e = ErrorEval::new(MetricKind::Er, &g, 4);
+        // Flip output 0 on patterns 1 and 3; output 1 on pattern 3.
+        let approx = vec![vec![0b1010 ^ 0b1010u64], vec![0b1100 ^ 0b1000u64]];
+        e.rebase(&approx);
+        assert_eq!(e.current(), 0.5);
+    }
+
+    #[test]
+    fn med_and_nmed() {
+        let g = golden_2bit(); // values 0,1,2,3
+        let approx = vec![vec![0b1011], vec![0b1100]]; // values 1,1,2,3
+        let mut e = ErrorEval::new(MetricKind::Med, &g, 4);
+        e.rebase(&approx);
+        assert_eq!(e.current(), 0.25); // |1-0| averaged over 4
+        let mut e = ErrorEval::new(MetricKind::Nmed, &g, 4);
+        e.rebase(&approx);
+        assert_eq!(e.current(), 0.25 / 3.0);
+    }
+
+    #[test]
+    fn mred_uses_relative_distance() {
+        let g = golden_2bit(); // values 0,1,2,3
+        let approx = vec![vec![0b1010], vec![0b0110]]; // values 0,3,2,1
+        let mut e = ErrorEval::new(MetricKind::Mred, &g, 4);
+        e.rebase(&approx);
+        // Pattern 1: |3-1|/1 = 2; pattern 3: |1-3|/3 = 2/3.
+        assert!((e.current() - (2.0 + 2.0 / 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wce_is_max_distance() {
+        let g = golden_2bit(); // values 0,1,2,3
+        let approx = vec![vec![0b1011], vec![0b1110]]; // values 1,3,3,3
+        let mut e = ErrorEval::new(MetricKind::Wce, &g, 4);
+        e.rebase(&approx);
+        assert_eq!(e.current(), 2.0); // pattern 1: |3-1| = 2
+    }
+
+    #[test]
+    fn with_flips_matches_rebase() {
+        let g = golden_2bit();
+        let approx = vec![vec![0b1011], vec![0b0100]];
+        let flips = vec![vec![0b0110u64], vec![0b1001u64]];
+        for kind in MetricKind::ALL {
+            let mut e = ErrorEval::new(kind, &g, 4);
+            e.rebase(&approx);
+            let predicted = e.with_flips(&flips);
+            let flipped: Vec<Vec<u64>> = approx
+                .iter()
+                .zip(&flips)
+                .map(|(s, f)| s.iter().zip(f).map(|(a, b)| a ^ b).collect())
+                .collect();
+            let mut e2 = ErrorEval::new(kind, &g, 4);
+            e2.rebase(&flipped);
+            assert!(
+                (predicted - e2.current()).abs() < 1e-12,
+                "{kind}: {predicted} vs {}",
+                e2.current()
+            );
+        }
+    }
+
+    #[test]
+    fn tail_patterns_are_masked() {
+        // 3 valid patterns in a 1-word signature with garbage in bit 3.
+        let g = vec![vec![0b0000u64]];
+        let mut e = ErrorEval::new(MetricKind::Er, &g, 3);
+        e.rebase(&vec![vec![0b1000u64]]); // differs only at invalid bit
+        assert_eq!(e.current(), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Batch error-increase estimation for LAC candidates.
+//!
+//! The expensive step of an iterative ALS flow is scoring every candidate
+//! LAC: how much would the circuit error grow if this change were
+//! applied? This crate implements the change-propagation scheme used by
+//! SEALS/VECBEE-class estimators:
+//!
+//! 1. per target node `n`, one fanout-cone re-simulation with `n`
+//!    complemented yields the *transfer masks* `M(n, o)` — the patterns
+//!    where flipping `n` flips output `o`;
+//! 2. a candidate at `n` with deviation mask `D` (patterns where the
+//!    substituted function differs from `n`) then flips output `o`
+//!    exactly on `D & M(n, o)`, because a single-node change propagates
+//!    deterministically per pattern;
+//! 3. the incremental [`errmetrics::ErrorEval`] turns those flip masks
+//!    into the candidate's error in time proportional to the flipped
+//!    patterns.
+//!
+//! Step 2 is *exact on the sample* for a single LAC — the estimation gap
+//! the AccALS paper reasons about appears only when summing the `ΔE` of
+//! several LACs applied together (its Eq. (1)). The property tests check
+//! this exactness against [`exact_on_sample`], the slow
+//! clone-apply-resimulate reference.
+
+use aig::{cone, Aig, Fanouts, NodeId};
+use bitsim::{simulate, ConeSimulator, Patterns, Sim};
+use errmetrics::{error, ErrorEval, MetricKind};
+use lac::{Lac, ScoredLac};
+use std::collections::HashMap;
+
+/// Batch scorer for candidate LACs against one circuit snapshot.
+///
+/// Construct once per round (after re-simulating the current circuit),
+/// then call [`BatchEstimator::score_all`].
+#[derive(Debug)]
+pub struct BatchEstimator<'a> {
+    aig: &'a Aig,
+    sim: &'a Sim,
+    eval: &'a ErrorEval,
+    cone_sim: ConeSimulator,
+    current_error: f64,
+}
+
+impl<'a> BatchEstimator<'a> {
+    /// Creates an estimator for the circuit snapshot `(aig, sim, eval)`.
+    ///
+    /// `eval` must be anchored at the golden signatures and rebased at
+    /// `aig`'s current output signatures under `sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` does not match `aig`.
+    pub fn new(aig: &'a Aig, sim: &'a Sim, eval: &'a ErrorEval) -> Self {
+        assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
+        BatchEstimator {
+            aig,
+            sim,
+            eval,
+            cone_sim: ConeSimulator::new(aig, sim.stride()),
+            current_error: eval.current(),
+        }
+    }
+
+    /// The error of the current circuit (the baseline for `ΔE`).
+    pub fn current_error(&self) -> f64 {
+        self.current_error
+    }
+
+    /// Scores every candidate: estimated error increase `ΔE` plus the
+    /// area gain (MFFC size minus new-function cost). Results are in
+    /// input order.
+    pub fn score_all(&mut self, cands: &[Lac]) -> Vec<ScoredLac> {
+        let stride = self.sim.stride();
+        let n_outputs = self.aig.n_pos();
+        // Group candidate indices by target node so each node's transfer
+        // masks are computed once.
+        let mut by_tn: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, l) in cands.iter().enumerate() {
+            by_tn.entry(l.tn).or_default().push(i);
+        }
+        let mut order: Vec<NodeId> = by_tn.keys().copied().collect();
+        order.sort_unstable();
+
+        let fanouts = Fanouts::build(self.aig);
+        let mut results: Vec<Option<ScoredLac>> = vec![None; cands.len()];
+        let mut dev = vec![0u64; stride];
+        let mut cand_sig = vec![0u64; stride];
+        let mut flips = vec![vec![0u64; stride]; n_outputs];
+
+        for tn in order {
+            let forced: Vec<u64> = self.sim.sig(tn).iter().map(|w| !w).collect();
+            let masks = self.cone_sim.output_flips(self.aig, self.sim, tn, &forced);
+            let mffc = cone::mffc_size(self.aig, &fanouts, tn) as i64;
+            for &ci in &by_tn[&tn] {
+                let lac = &cands[ci];
+                lac.signature_into(self.sim, &mut cand_sig);
+                let base = self.sim.sig(tn);
+                for w in 0..stride {
+                    dev[w] = base[w] ^ cand_sig[w];
+                }
+                for (o, flip) in flips.iter_mut().enumerate() {
+                    for w in 0..stride {
+                        flip[w] = dev[w] & masks[o][w];
+                    }
+                }
+                let e_new = self.eval.with_flips(&flips);
+                results[ci] = Some(ScoredLac {
+                    lac: *lac,
+                    delta_e: e_new - self.current_error,
+                    gain: mffc - lac.new_node_cost() as i64,
+                });
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every candidate scored"))
+            .collect()
+    }
+}
+
+/// Reference estimator: clone the circuit, apply the LAC, re-simulate
+/// everything, and measure the error against the golden signatures.
+///
+/// Slow (`O(circuit)` per candidate); used by tests and the estimator
+/// ablation bench.
+///
+/// # Panics
+///
+/// Panics if the LAC does not apply cleanly.
+pub fn exact_on_sample(
+    aig: &Aig,
+    golden: &[Vec<u64>],
+    kind: MetricKind,
+    pats: &Patterns,
+    the_lac: &Lac,
+) -> f64 {
+    let mut copy = aig.clone();
+    lac::apply(&mut copy, the_lac).expect("candidate must apply cleanly");
+    let sim = simulate(&copy, pats);
+    let sigs = sim.output_sigs(&copy);
+    error(kind, golden, &sigs, pats.n_patterns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac::{generate_candidates, CandidateConfig};
+
+    #[test]
+    fn batch_estimates_are_exact_on_sample() {
+        let g = benchgen::adders::rca(4);
+        let pats = Patterns::exhaustive(8);
+        let sim = simulate(&g, &pats);
+        let golden = sim.output_sigs(&g);
+        for kind in [MetricKind::Er, MetricKind::Nmed, MetricKind::Mred] {
+            let mut eval = ErrorEval::new(kind, &golden, pats.n_patterns());
+            eval.rebase(&golden);
+            let cands = generate_candidates(&g, &sim, &CandidateConfig::default());
+            let mut est = BatchEstimator::new(&g, &sim, &eval);
+            let scored = est.score_all(&cands);
+            for s in &scored {
+                let exact = exact_on_sample(&g, &golden, kind, &pats, &s.lac);
+                let predicted = est.current_error() + s.delta_e;
+                assert!(
+                    (predicted - exact).abs() < 1e-12,
+                    "{kind} {}: predicted {predicted}, exact {exact}",
+                    s.lac
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_on_an_already_approximate_circuit() {
+        // Apply one LAC, then verify estimation is still exact relative
+        // to the golden circuit.
+        let golden_aig = benchgen::multipliers::array_multiplier(3);
+        let pats = Patterns::exhaustive(6);
+        let golden = simulate(&golden_aig, &pats).output_sigs(&golden_aig);
+
+        let mut approx = golden_aig.clone();
+        let sim0 = simulate(&approx, &pats);
+        let cands0 = generate_candidates(&approx, &sim0, &CandidateConfig::default());
+        lac::apply(&mut approx, &cands0[1]).unwrap();
+        approx.cleanup().unwrap();
+
+        let sim = simulate(&approx, &pats);
+        let mut eval = ErrorEval::new(MetricKind::Nmed, &golden, pats.n_patterns());
+        eval.rebase(&sim.output_sigs(&approx));
+        let cands = generate_candidates(&approx, &sim, &CandidateConfig::default());
+        let mut est = BatchEstimator::new(&approx, &sim, &eval);
+        let scored = est.score_all(&cands);
+        for s in scored.iter().take(40) {
+            let exact = exact_on_sample(&approx, &golden, MetricKind::Nmed, &pats, &s.lac);
+            let predicted = est.current_error() + s.delta_e;
+            assert!(
+                (predicted - exact).abs() < 1e-12,
+                "{}: predicted {predicted}, exact {exact}",
+                s.lac
+            );
+        }
+    }
+
+    #[test]
+    fn gain_reflects_mffc() {
+        let mut g = aig::Aig::new("t", 3);
+        let (a, b, c) = (g.pi(0), g.pi(1), g.pi(2));
+        let ab = g.and(a, b);
+        let y = g.and(ab, c);
+        g.add_output(y, "y");
+        let pats = Patterns::exhaustive(3);
+        let sim = simulate(&g, &pats);
+        let golden = sim.output_sigs(&g);
+        let mut eval = ErrorEval::new(MetricKind::Er, &golden, pats.n_patterns());
+        eval.rebase(&golden);
+        let mut est = BatchEstimator::new(&g, &sim, &eval);
+        let scored = est.score_all(&[
+            Lac::new(y.node(), lac::LacKind::Constant(false)),
+            Lac::new(ab.node(), lac::LacKind::Constant(false)),
+        ]);
+        // Removing the top gate frees both gates; removing ab frees one.
+        assert_eq!(scored[0].gain, 2);
+        assert_eq!(scored[1].gain, 1);
+    }
+}

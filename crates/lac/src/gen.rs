@@ -1,0 +1,446 @@
+use crate::kinds::{Lac, LacKind};
+use aig::{Aig, Fanouts, Node, NodeId};
+use bitsim::{popcount, Sim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for [`generate_candidates`].
+///
+/// The defaults correspond to the setup used by the experiment harness:
+/// a handful of candidates per node across the three LAC families, with
+/// signature-distance pre-ranking so the batch estimator sees promising
+/// candidates.
+#[derive(Debug, Clone)]
+pub struct CandidateConfig {
+    /// Generate constant-0/1 LACs.
+    pub constants: bool,
+    /// Generate SASIMI-style wire LACs.
+    pub wires: bool,
+    /// Generate ALSRAC-style binary resubstitution LACs.
+    pub binaries: bool,
+    /// Random wire-substitute probes per target node.
+    pub max_wire_probes: usize,
+    /// Wire candidates kept per target node.
+    pub k_wire: usize,
+    /// Divisors considered for binary resubstitution per target node.
+    pub max_divisors: usize,
+    /// Binary candidates kept per target node.
+    pub k_binary: usize,
+    /// Generate three-input resubstitution LACs (an ALSRAC extension;
+    /// off by default to match the paper's two-input setup).
+    pub ternaries: bool,
+    /// Ternary candidates kept per target node.
+    pub k_ternary: usize,
+    /// Seed for the probe sampler (generation is fully deterministic for
+    /// a given seed).
+    pub seed: u64,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            constants: true,
+            wires: true,
+            binaries: true,
+            max_wire_probes: 48,
+            k_wire: 3,
+            max_divisors: 8,
+            k_binary: 3,
+            ternaries: false,
+            k_ternary: 2,
+            seed: 0x1ac5eed,
+        }
+    }
+}
+
+/// Generates candidate LACs for every live AND node of `aig`.
+///
+/// Substitute nodes are restricted to levels at or below the target's
+/// level, which guarantees cycle-free application (a node's transitive
+/// fanout lies strictly above its level). Wire and binary candidates are
+/// pre-ranked by signature deviation on the simulated sample; the batch
+/// estimator refines the ranking into true error increases.
+///
+/// # Panics
+///
+/// Panics if `sim` does not match `aig`.
+pub fn generate_candidates(aig: &Aig, sim: &Sim, cfg: &CandidateConfig) -> Vec<Lac> {
+    assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
+    let levels = aig.levels().expect("acyclic");
+    let live = aig.live_mask();
+    let fanouts = Fanouts::build(aig);
+    let n_patterns = sim.n_patterns();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Pool of potential substitutes (live PIs and gates), sorted by level
+    // so that "level <= L" prefixes can be sampled directly.
+    let mut pool: Vec<NodeId> = aig
+        .node_ids()
+        .skip(1) // constant node is covered by Constant LACs
+        .filter(|&id| live[id.index()])
+        .collect();
+    pool.sort_by_key(|id| levels[id.index()]);
+    let pool_levels: Vec<u32> = pool.iter().map(|id| levels[id.index()]).collect();
+
+    let mut out = Vec::new();
+    for id in aig.and_ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        let lvl = levels[id.index()];
+        let sig_n = sim.sig(id);
+
+        if cfg.constants {
+            out.push(Lac::new(id, LacKind::Constant(false)));
+            out.push(Lac::new(id, LacKind::Constant(true)));
+        }
+
+        // Candidate substitutes visible to this node.
+        let visible = pool_levels.partition_point(|&l| l <= lvl);
+        if visible == 0 {
+            continue;
+        }
+
+        // Local divisors: fanins, grand-fanins, and fanout siblings.
+        let mut locals: Vec<NodeId> = Vec::new();
+        if let Node::And(a, b) = aig.node(id) {
+            for f in [a.node(), b.node()] {
+                push_unique(&mut locals, f);
+                if let Node::And(x, y) = aig.node(f) {
+                    push_unique(&mut locals, x.node());
+                    push_unique(&mut locals, y.node());
+                }
+            }
+        }
+        for &fo in fanouts.of(id) {
+            if let Node::And(x, y) = aig.node(fo) {
+                for s in [x.node(), y.node()] {
+                    if s != id {
+                        push_unique(&mut locals, s);
+                    }
+                }
+            }
+        }
+        locals.retain(|&v| {
+            v != id
+                && v != NodeId::CONST0
+                && live[v.index()]
+                && levels[v.index()] <= lvl
+        });
+
+        if cfg.wires {
+            // Locals plus random pool probes, ranked by signature distance.
+            let mut probes = locals.clone();
+            for _ in 0..cfg.max_wire_probes {
+                let v = pool[rng.gen_range(0..visible)];
+                if v != id {
+                    push_unique(&mut probes, v);
+                }
+            }
+            let mut scored: Vec<(usize, NodeId, bool)> = Vec::with_capacity(probes.len() * 2);
+            for &v in &probes {
+                let sig_v = sim.sig(v);
+                let d_pos = hamming(sig_n, sig_v, false, n_patterns);
+                let d_neg = n_patterns - d_pos;
+                scored.push((d_pos, v, false));
+                scored.push((d_neg, v, true));
+            }
+            scored.sort_by_key(|&(d, v, neg)| (d, v, neg));
+            for &(_, sn, neg) in scored.iter().take(cfg.k_wire) {
+                out.push(Lac::new(id, LacKind::Wire { sn, neg }));
+            }
+        }
+
+        if cfg.binaries {
+            let mut divisors = locals;
+            // A couple of random extras diversify the divisor pool.
+            for _ in 0..2 {
+                let v = pool[rng.gen_range(0..visible)];
+                if v != id && live[v.index()] && levels[v.index()] <= lvl {
+                    push_unique(&mut divisors, v);
+                }
+            }
+            divisors.truncate(cfg.max_divisors);
+            // The pair made of the target's own fanins with zero
+            // deviation reconstructs the identical gate — a no-op.
+            let fanin_pair: Option<[NodeId; 2]> = aig.fanins(id).map(|(a, b)| {
+                let (mut x, mut y) = (a.node(), b.node());
+                if x > y {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                [x, y]
+            });
+            let mut scored: Vec<(usize, Lac)> = Vec::new();
+            for (i, &v1) in divisors.iter().enumerate() {
+                for &v2 in &divisors[i + 1..] {
+                    if let Some((tt, dev)) = best_tt2(sim, id, v1, v2, n_patterns) {
+                        let (mut x, mut y) = (v1, v2);
+                        if x > y {
+                            std::mem::swap(&mut x, &mut y);
+                        }
+                        if dev == 0 && fanin_pair == Some([x, y]) {
+                            continue;
+                        }
+                        scored.push((dev, Lac::new(id, LacKind::Binary { sns: [v1, v2], tt })));
+                    }
+                }
+            }
+            scored.sort_by_key(|&(d, l)| (d, l.tn, sns_key(&l)));
+            let keep_binary = cfg.k_binary.min(scored.len());
+            for (_, l) in scored.iter().take(keep_binary) {
+                out.push(*l);
+            }
+
+            if cfg.ternaries && divisors.len() >= 3 {
+                let mut tern: Vec<(usize, Lac)> = Vec::new();
+                // Bound the triple count: the first six divisors give
+                // C(6,3) = 20 triples.
+                let ds = &divisors[..divisors.len().min(6)];
+                for i in 0..ds.len() {
+                    for j in i + 1..ds.len() {
+                        for k in j + 1..ds.len() {
+                            if let Some((tt, dev)) =
+                                best_tt3(sim, id, ds[i], ds[j], ds[k], n_patterns)
+                            {
+                                tern.push((
+                                    dev,
+                                    Lac::new(
+                                        id,
+                                        LacKind::Ternary {
+                                            sns: [ds[i], ds[j], ds[k]],
+                                            tt,
+                                        },
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                tern.sort_by_key(|&(d, l)| (d, l.tn, sns_key(&l)));
+                for (_, l) in tern.into_iter().take(cfg.k_ternary) {
+                    out.push(l);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sns_key(l: &Lac) -> (u32, u32, u32) {
+    let mut it = l.sns();
+    let a = it.next().map_or(0, |n| n.index() as u32);
+    let b = it.next().map_or(0, |n| n.index() as u32);
+    let c = it.next().map_or(0, |n| n.index() as u32);
+    (a, b, c)
+}
+
+fn push_unique(v: &mut Vec<NodeId>, n: NodeId) {
+    if !v.contains(&n) {
+        v.push(n);
+    }
+}
+
+fn hamming(a: &[u64], b: &[u64], neg: bool, n_patterns: usize) -> usize {
+    let flip = if neg { u64::MAX } else { 0 };
+    let xs: Vec<u64> = a.iter().zip(b).map(|(x, y)| x ^ y ^ flip).collect();
+    popcount(&xs, n_patterns)
+}
+
+/// Finds the two-input truth table over `(v1, v2)` that best matches the
+/// target's signature, returning `(tt, deviation_count)`. Returns `None`
+/// when the optimum is a trivial table (constant or single-wire), since
+/// those are covered by the other LAC families.
+fn best_tt2(
+    sim: &Sim,
+    target: NodeId,
+    v1: NodeId,
+    v2: NodeId,
+    n_patterns: usize,
+) -> Option<(u8, usize)> {
+    let st = sim.sig(target);
+    let s1 = sim.sig(v1);
+    let s2 = sim.sig(v2);
+    // For each of the four input regions, count patterns where the target
+    // is 1 vs 0; the optimal tt picks the majority value per region.
+    let mut ones = [0usize; 4];
+    let mut totals = [0usize; 4];
+    let full = n_patterns / 64;
+    let mut scan = |w: usize, mask: u64| {
+        let (a, b, t) = (s1[w] & mask, s2[w] & mask, st[w] & mask);
+        let regions = [!a & !b & mask, a & !b & mask, !a & b & mask, a & b & mask];
+        for (r, reg) in regions.iter().enumerate() {
+            totals[r] += reg.count_ones() as usize;
+            ones[r] += (reg & t).count_ones() as usize;
+        }
+    };
+    for w in 0..full {
+        scan(w, u64::MAX);
+    }
+    let rem = n_patterns % 64;
+    if rem != 0 {
+        scan(full, (1u64 << rem) - 1);
+    }
+    let mut tt = 0u8;
+    let mut dev = 0usize;
+    for r in 0..4 {
+        let zeros = totals[r] - ones[r];
+        if ones[r] > zeros {
+            tt |= 1 << r;
+            dev += zeros;
+        } else {
+            dev += ones[r];
+        }
+    }
+    match tt {
+        // Constants and wires are produced by the other families.
+        0b0000 | 0b1111 | 0b1010 | 0b0101 | 0b1100 | 0b0011 => None,
+        _ => Some((tt, dev)),
+    }
+}
+
+/// Finds the three-input truth table over `(v1, v2, v3)` that best
+/// matches the target's signature, returning `(tt, deviation_count)`.
+/// Returns `None` when the optimum does not depend on all three
+/// substitutes (smaller functions are covered by the other families).
+fn best_tt3(
+    sim: &Sim,
+    target: NodeId,
+    v1: NodeId,
+    v2: NodeId,
+    v3: NodeId,
+    n_patterns: usize,
+) -> Option<(u8, usize)> {
+    let st = sim.sig(target);
+    let s1 = sim.sig(v1);
+    let s2 = sim.sig(v2);
+    let s3 = sim.sig(v3);
+    let mut ones = [0usize; 8];
+    let mut totals = [0usize; 8];
+    let full = n_patterns / 64;
+    let mut scan = |w: usize, mask: u64| {
+        let (a, b, c, t) = (s1[w], s2[w], s3[w], st[w] & mask);
+        for m in 0..8usize {
+            let ra = if m & 1 != 0 { a } else { !a };
+            let rb = if m & 2 != 0 { b } else { !b };
+            let rc = if m & 4 != 0 { c } else { !c };
+            let reg = ra & rb & rc & mask;
+            totals[m] += reg.count_ones() as usize;
+            ones[m] += (reg & t).count_ones() as usize;
+        }
+    };
+    for w in 0..full {
+        scan(w, u64::MAX);
+    }
+    let rem = n_patterns % 64;
+    if rem != 0 {
+        scan(full, (1u64 << rem) - 1);
+    }
+    let mut tt = 0u8;
+    let mut dev = 0usize;
+    for m in 0..8 {
+        let zeros = totals[m] - ones[m];
+        if ones[m] > zeros {
+            tt |= 1 << m;
+            dev += zeros;
+        } else {
+            dev += ones[m];
+        }
+    }
+    // Require dependence on all three variables.
+    let dep = |bit: u8| (0..8u8).any(|m| (tt >> m & 1) != (tt >> (m ^ bit) & 1));
+    if dep(1) && dep(2) && dep(4) {
+        Some((tt, dev))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitsim::{simulate, Patterns};
+
+    fn adder() -> Aig {
+        benchgen::adders::rca(4)
+    }
+
+    #[test]
+    fn candidates_are_structurally_valid() {
+        let g = adder();
+        let pats = Patterns::exhaustive(8);
+        let sim = simulate(&g, &pats);
+        let cands = generate_candidates(&g, &sim, &CandidateConfig::default());
+        assert!(!cands.is_empty());
+        let levels = g.levels().unwrap();
+        let live = g.live_mask();
+        for lac in &cands {
+            assert!(g.node(lac.tn).is_and(), "{lac}: target must be a gate");
+            assert!(live[lac.tn.index()], "{lac}: target must be live");
+            for sn in lac.sns() {
+                assert!(live[sn.index()], "{lac}: substitute must be live");
+                assert!(
+                    levels[sn.index()] <= levels[lac.tn.index()],
+                    "{lac}: level rule violated"
+                );
+                assert_ne!(sn, lac.tn, "{lac}: substitute equals target");
+            }
+        }
+    }
+
+    #[test]
+    fn every_candidate_applies_without_cycles() {
+        let g = adder();
+        let pats = Patterns::exhaustive(8);
+        let sim = simulate(&g, &pats);
+        let cands = generate_candidates(&g, &sim, &CandidateConfig::default());
+        for lac in &cands {
+            let mut copy = g.clone();
+            crate::apply(&mut copy, lac).unwrap_or_else(|e| panic!("{lac}: {e}"));
+            assert!(copy.topo_order().is_ok(), "{lac}: created a cycle");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = adder();
+        let pats = Patterns::exhaustive(8);
+        let sim = simulate(&g, &pats);
+        let cfg = CandidateConfig::default();
+        let a = generate_candidates(&g, &sim, &cfg);
+        let b = generate_candidates(&g, &sim, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn family_toggles_work() {
+        let g = adder();
+        let pats = Patterns::exhaustive(8);
+        let sim = simulate(&g, &pats);
+        let only_const = CandidateConfig {
+            wires: false,
+            binaries: false,
+            ..CandidateConfig::default()
+        };
+        let cands = generate_candidates(&g, &sim, &only_const);
+        assert!(cands
+            .iter()
+            .all(|l| matches!(l.kind, LacKind::Constant(_))));
+        assert_eq!(cands.len(), 2 * g.live_mask().iter().skip(1 + g.n_pis()).filter(|&&x| x).count());
+    }
+
+    #[test]
+    fn best_tt2_recovers_exact_function() {
+        // Target = a XOR b: the optimal 2-input resub over (a, b) is XOR
+        // with zero deviation.
+        let mut g = Aig::new("t", 2);
+        let (a, b) = (g.pi(0), g.pi(1));
+        let x = g.xor(a, b);
+        g.add_output(x, "y");
+        let pats = Patterns::exhaustive(2);
+        let sim = simulate(&g, &pats);
+        // The XOR literal is complemented, so the *node* computes XNOR.
+        let (tt, dev) = best_tt2(&sim, x.node(), a.node(), b.node(), 4).unwrap();
+        assert_eq!(tt, if x.is_neg() { 0b1001 } else { 0b0110 });
+        assert_eq!(dev, 0);
+    }
+}

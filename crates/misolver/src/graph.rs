@@ -1,0 +1,120 @@
+/// A simple undirected graph on vertices `0..n`, stored as adjacency
+/// lists. Parallel edges and self-loops are ignored.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    n_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            n_edges: 0,
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops and duplicates are
+    /// silently ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        if u == v || self.adj[u].contains(&(v as u32)) {
+            return;
+        }
+        self.adj[u].push(v as u32);
+        self.adj[v].push(u as u32);
+        self.n_edges += 1;
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// The degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The neighbors of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].iter().map(|&u| u as usize)
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&(v as u32))
+    }
+
+    /// Whether `set` is an independent set (no two members adjacent).
+    pub fn is_independent(&self, set: &[usize]) -> bool {
+        let mut in_set = vec![false; self.n_vertices()];
+        for &v in set {
+            in_set[v] = true;
+        }
+        set.iter()
+            .all(|&v| self.neighbors(v).all(|u| !in_set[u]))
+    }
+
+    /// Whether `set` is maximal: no vertex outside it can be added while
+    /// keeping independence.
+    pub fn is_maximal(&self, set: &[usize]) -> bool {
+        let mut in_set = vec![false; self.n_vertices()];
+        for &v in set {
+            in_set[v] = true;
+        }
+        (0..self.n_vertices()).all(|v| {
+            in_set[v] || self.neighbors(v).any(|u| in_set[u])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_dedupe_and_ignore_self_loops() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn independence_and_maximality_checks() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(g.is_independent(&[0, 2]));
+        assert!(!g.is_independent(&[0, 1]));
+        assert!(g.is_maximal(&[0, 2]));
+        assert!(!g.is_maximal(&[1])); // vertex 3 could be added
+    }
+}

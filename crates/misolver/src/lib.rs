@@ -1,0 +1,153 @@
+//! Maximum independent set (MIS) solvers.
+//!
+//! AccALS formulates the selection of mutually independent local
+//! approximate changes as a MIS problem and solves it with KaMIS in the
+//! original paper. This crate is the self-contained stand-in: an exact
+//! branch-and-bound solver for small graphs and a greedy + iterated
+//! (1,2)-swap local search for larger ones. The instances AccALS produces
+//! are small (at most a few hundred vertices), where these solvers are
+//! near-optimal.
+//!
+//! # Example
+//!
+//! ```
+//! use misolver::{solve, Graph, MisStrategy};
+//!
+//! // A 5-cycle: the maximum independent set has 2 vertices.
+//! let mut g = Graph::new(5);
+//! for v in 0..5 {
+//!     g.add_edge(v, (v + 1) % 5);
+//! }
+//! let set = solve(&g, MisStrategy::Exact);
+//! assert_eq!(set.len(), 2);
+//! assert!(g.is_independent(&set));
+//! ```
+
+mod exact;
+mod graph;
+mod greedy;
+mod local;
+
+pub use exact::exact;
+pub use graph::Graph;
+pub use greedy::greedy_min_degree;
+pub use local::local_search;
+
+/// Which MIS algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisStrategy {
+    /// Greedy minimum-degree construction only.
+    Greedy,
+    /// Greedy construction followed by iterated (1,2)-swap local search.
+    LocalSearch {
+        /// Number of perturb-and-improve iterations.
+        iterations: usize,
+        /// RNG seed for the perturbation step.
+        seed: u64,
+    },
+    /// Exact branch-and-bound (exponential worst case; intended for
+    /// graphs up to roughly 60 vertices).
+    Exact,
+    /// Exact for graphs of at most 40 vertices, local search otherwise.
+    /// This is the default used by the AccALS flow.
+    Auto,
+}
+
+impl Default for MisStrategy {
+    fn default() -> Self {
+        MisStrategy::Auto
+    }
+}
+
+/// Computes an independent set of `graph` that is as large as the chosen
+/// strategy can find (always maximal; the exact strategy returns a
+/// maximum one). Vertices are returned in ascending order.
+pub fn solve(graph: &Graph, strategy: MisStrategy) -> Vec<usize> {
+    let mut set = match strategy {
+        MisStrategy::Greedy => greedy_min_degree(graph),
+        MisStrategy::LocalSearch { iterations, seed } => {
+            let init = greedy_min_degree(graph);
+            local_search(graph, init, iterations, seed)
+        }
+        MisStrategy::Exact => exact(graph),
+        MisStrategy::Auto => {
+            if graph.n_vertices() <= 40 {
+                exact(graph)
+            } else {
+                let init = greedy_min_degree(graph);
+                local_search(graph, init, 20 * graph.n_vertices(), 0xACCA15)
+            }
+        }
+    };
+    set.sort_unstable();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n);
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(solve(&cycle(5), MisStrategy::Exact).len(), 2);
+        assert_eq!(solve(&cycle(6), MisStrategy::Exact).len(), 3);
+        assert_eq!(solve(&complete(7), MisStrategy::Exact).len(), 1);
+        // Star graph: center connected to all leaves.
+        let mut star = Graph::new(8);
+        for v in 1..8 {
+            star.add_edge(0, v);
+        }
+        assert_eq!(solve(&star, MisStrategy::Exact).len(), 7);
+    }
+
+    #[test]
+    fn empty_graph_takes_everything() {
+        let g = Graph::new(9);
+        for strategy in [
+            MisStrategy::Greedy,
+            MisStrategy::Exact,
+            MisStrategy::Auto,
+            MisStrategy::LocalSearch {
+                iterations: 10,
+                seed: 1,
+            },
+        ] {
+            assert_eq!(solve(&g, strategy).len(), 9);
+        }
+    }
+
+    #[test]
+    fn all_strategies_return_independent_maximal_sets() {
+        let g = cycle(30);
+        for strategy in [
+            MisStrategy::Greedy,
+            MisStrategy::Auto,
+            MisStrategy::LocalSearch {
+                iterations: 50,
+                seed: 3,
+            },
+        ] {
+            let set = solve(&g, strategy);
+            assert!(g.is_independent(&set));
+            assert!(g.is_maximal(&set));
+        }
+    }
+}

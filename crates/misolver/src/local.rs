@@ -1,0 +1,166 @@
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Iterated (1,2)-swap local search, in the spirit of the
+/// Andrade–Resende–Werneck heuristic that underlies KaMIS.
+///
+/// Starting from `init` (made maximal first), the search repeatedly
+/// applies 2-improvements — remove one solution vertex and insert two of
+/// its "tight" neighbors — and, when stuck, perturbs the solution by
+/// force-inserting a random vertex. The best solution seen across
+/// `iterations` perturbation rounds is returned; it is always maximal
+/// and never worse than `init`.
+pub fn local_search(graph: &Graph, init: Vec<usize>, iterations: usize, seed: u64) -> Vec<usize> {
+    let n = graph.n_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = State::new(graph, &init);
+    state.make_maximal(graph);
+    state.improve(graph);
+    let mut best = state.solution();
+    for _ in 0..iterations {
+        if n == 0 {
+            break;
+        }
+        let v = rng.gen_range(0..n);
+        state.force_insert(graph, v);
+        state.make_maximal(graph);
+        state.improve(graph);
+        if state.size > best.len() {
+            best = state.solution();
+        } else {
+            // Restart from the best-known solution to keep the walk near
+            // good regions.
+            state = State::new(graph, &best);
+        }
+    }
+    best
+}
+
+struct State {
+    in_set: Vec<bool>,
+    /// Number of solution neighbors for every vertex.
+    conflicts: Vec<u32>,
+    size: usize,
+}
+
+impl State {
+    fn new(graph: &Graph, set: &[usize]) -> Self {
+        let n = graph.n_vertices();
+        let mut s = State {
+            in_set: vec![false; n],
+            conflicts: vec![0; n],
+            size: 0,
+        };
+        for &v in set {
+            if !s.in_set[v] && s.conflicts[v] == 0 {
+                s.insert(graph, v);
+            }
+        }
+        s
+    }
+
+    fn insert(&mut self, graph: &Graph, v: usize) {
+        debug_assert!(!self.in_set[v]);
+        self.in_set[v] = true;
+        self.size += 1;
+        for u in graph.neighbors(v) {
+            self.conflicts[u] += 1;
+        }
+    }
+
+    fn remove(&mut self, graph: &Graph, v: usize) {
+        debug_assert!(self.in_set[v]);
+        self.in_set[v] = false;
+        self.size -= 1;
+        for u in graph.neighbors(v) {
+            self.conflicts[u] -= 1;
+        }
+    }
+
+    /// Inserts `v` by evicting its solution neighbors first.
+    fn force_insert(&mut self, graph: &Graph, v: usize) {
+        if self.in_set[v] {
+            return;
+        }
+        let evict: Vec<usize> = graph.neighbors(v).filter(|&u| self.in_set[u]).collect();
+        for u in evict {
+            self.remove(graph, u);
+        }
+        self.insert(graph, v);
+    }
+
+    fn make_maximal(&mut self, graph: &Graph) {
+        for v in 0..graph.n_vertices() {
+            if !self.in_set[v] && self.conflicts[v] == 0 {
+                self.insert(graph, v);
+            }
+        }
+    }
+
+    /// Applies 2-improvements until a fixpoint: for each solution vertex
+    /// `x`, look for two non-adjacent vertices whose only solution
+    /// neighbor is `x`; swapping them in gains one vertex.
+    fn improve(&mut self, graph: &Graph) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for x in 0..graph.n_vertices() {
+                if !self.in_set[x] {
+                    continue;
+                }
+                let tight: Vec<usize> = graph
+                    .neighbors(x)
+                    .filter(|&u| !self.in_set[u] && self.conflicts[u] == 1)
+                    .collect();
+                if tight.len() < 2 {
+                    continue;
+                }
+                'pairs: for (i, &a) in tight.iter().enumerate() {
+                    for &b in &tight[i + 1..] {
+                        if !graph.has_edge(a, b) {
+                            self.remove(graph, x);
+                            self.insert(graph, a);
+                            self.insert(graph, b);
+                            self.make_maximal(graph);
+                            changed = true;
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn solution(&self) -> Vec<usize> {
+        (0..self.in_set.len()).filter(|&v| self.in_set[v]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_min_degree;
+
+    #[test]
+    fn local_search_improves_a_bad_start() {
+        // Path 0-1-2-3-4: optimum is {0,2,4} (size 3); start from {1}.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let set = local_search(&g, vec![1], 50, 7);
+        assert_eq!(set.len(), 3);
+        assert!(g.is_independent(&set));
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy() {
+        let g = Graph::from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4), (0, 4)],
+        );
+        let greedy = greedy_min_degree(&g);
+        let improved = local_search(&g, greedy.clone(), 100, 11);
+        assert!(improved.len() >= greedy.len());
+        assert!(g.is_independent(&improved));
+        assert!(g.is_maximal(&improved));
+    }
+}

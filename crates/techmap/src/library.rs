@@ -1,0 +1,424 @@
+use std::collections::HashMap;
+
+/// A standard cell: a single-output combinational gate with up to four
+/// inputs.
+///
+/// The truth table is over the cell's inputs in declaration order: bit
+/// `Σ value_i << i` of `tt` gives the output for that input assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The cell name (e.g. `NAND2`).
+    pub name: String,
+    /// Number of inputs (1..=4).
+    pub n_inputs: usize,
+    /// Cell area (library units).
+    pub area: f64,
+    /// Pin-to-output delay (library units; a single worst-case value).
+    pub delay: f64,
+    /// Truth table over the inputs (only the low `2^n_inputs` bits are
+    /// meaningful).
+    pub tt: u16,
+}
+
+/// A standard-cell library plus the derived matching table used by the
+/// mapper.
+#[derive(Debug, Clone)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+    inv: usize,
+    tie0: usize,
+    tie1: usize,
+}
+
+/// A single way to realize a cut function: a cell, an input permutation,
+/// a mask of inputs that need an inverter in front, and optionally an
+/// inverter on the output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMatch {
+    /// Index into [`Library::cells`].
+    pub cell: usize,
+    /// `perm[i]` = which cut leaf drives cell input `i`.
+    pub perm: [u8; 4],
+    /// Bit `i` set = cell input `i` is fed through an inverter.
+    pub neg_mask: u8,
+    /// The cell's output is complemented by an inverter.
+    pub out_neg: bool,
+    /// Total area including the charged inverters.
+    pub area: f64,
+    /// Worst-case delay including the charged inverters.
+    pub delay: f64,
+}
+
+/// The cut-function matching table: for each `(leaf count, truth table)`
+/// the cheapest realization by area.
+#[derive(Debug, Clone)]
+pub struct MatchTable {
+    by_tt: Vec<HashMap<u16, CellMatch>>,
+}
+
+impl MatchTable {
+    /// Looks up the cheapest match for a cut with `n_leaves` leaves and
+    /// function `tt` (over the low `2^n_leaves` bits).
+    pub fn lookup(&self, n_leaves: usize, tt: u16) -> Option<&CellMatch> {
+        self.by_tt.get(n_leaves).and_then(|m| m.get(&tt))
+    }
+}
+
+impl Library {
+    /// Builds a library from explicit cell definitions (e.g. parsed from
+    /// a genlib file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `INV`, `TIE0`, or `TIE1` is missing, or if any cell has
+    /// zero or more than four inputs.
+    pub fn from_cells(name: &str, cells: Vec<Cell>) -> Library {
+        for c in &cells {
+            assert!(
+                (1..=4).contains(&c.n_inputs),
+                "cell {} has {} inputs",
+                c.name,
+                c.n_inputs
+            );
+        }
+        let find = |n: &str| {
+            cells
+                .iter()
+                .position(|c| c.name == n)
+                .unwrap_or_else(|| panic!("library must define {n}"))
+        };
+        Library {
+            name: name.to_string(),
+            inv: find("INV"),
+            tie0: find("TIE0"),
+            tie1: find("TIE1"),
+            cells,
+        }
+    }
+
+    fn build(name: &str, raw: &[(&str, usize, f64, f64, u16)]) -> Library {
+        let cells: Vec<Cell> = raw
+            .iter()
+            .map(|&(n, k, a, d, tt)| Cell {
+                name: n.to_string(),
+                n_inputs: k,
+                area: a,
+                delay: d,
+                tt,
+            })
+            .collect();
+        let find = |n: &str| {
+            cells
+                .iter()
+                .position(|c| c.name == n)
+                .unwrap_or_else(|| panic!("library must define {n}"))
+        };
+        Library {
+            name: name.to_string(),
+            inv: find("INV"),
+            tie0: find("TIE0"),
+            tie1: find("TIE1"),
+            cells,
+        }
+    }
+
+    /// An MCNC-flavored mini library, normalized so that the inverter has
+    /// area 1 and delay 1 (the normalization used by the paper's
+    /// Table I).
+    pub fn mcnc_mini() -> Library {
+        // tt conventions: inputs i0, i1, ... -> bit index sum(v_i << i).
+        Library::build(
+            "mcnc-mini",
+            &[
+                ("TIE0", 1, 0.5, 0.0, 0b0),
+                ("TIE1", 1, 0.5, 0.0, 0b11),
+                ("INV", 1, 1.0, 1.0, 0b01),
+                ("BUF", 1, 2.0, 1.8, 0b10),
+                ("NAND2", 2, 2.0, 1.0, 0b0111),
+                ("NOR2", 2, 2.0, 1.4, 0b0001),
+                ("AND2", 2, 3.0, 1.9, 0b1000),
+                ("OR2", 2, 3.0, 2.1, 0b1110),
+                ("XOR2", 2, 5.0, 2.6, 0b0110),
+                ("XNOR2", 2, 5.0, 2.4, 0b1001),
+                ("NAND3", 3, 3.0, 1.6, 0b0111_1111),
+                ("NOR3", 3, 3.0, 2.0, 0b0000_0001),
+                ("NAND4", 4, 4.0, 2.0, 0x7FFF),
+                ("NOR4", 4, 4.0, 2.6, 0x0001),
+                // AOI21: !(i0 & i1 | i2)
+                ("AOI21", 3, 3.0, 1.9, 0b0000_0111),
+                // OAI21: !((i0 | i1) & i2)
+                ("OAI21", 3, 3.0, 1.9, 0b0001_1111),
+                // AOI22: !(i0 & i1 | i2 & i3)
+                ("AOI22", 4, 4.0, 2.2, aoi22_tt()),
+                // OAI22: !((i0 | i1) & (i2 | i3))
+                ("OAI22", 4, 4.0, 2.2, oai22_tt()),
+                // MUX2: i2 ? i1 : i0
+                ("MUX2", 3, 6.0, 2.8, mux2_tt()),
+            ],
+        )
+    }
+
+    /// A NanGate-45nm-flavored mini library (areas in gate-equivalent
+    /// units, delays in normalized FO4-ish units). Used for the AMOSA
+    /// comparison, mirroring the paper's Section III-C setup.
+    pub fn nangate45_mini() -> Library {
+        Library::build(
+            "nangate45-mini",
+            &[
+                ("TIE0", 1, 0.3, 0.0, 0b0),
+                ("TIE1", 1, 0.3, 0.0, 0b11),
+                ("INV", 1, 0.53, 0.6, 0b01),
+                ("BUF", 1, 1.06, 1.1, 0b10),
+                ("NAND2", 2, 0.8, 0.7, 0b0111),
+                ("NOR2", 2, 0.8, 0.9, 0b0001),
+                ("AND2", 2, 1.06, 1.2, 0b1000),
+                ("OR2", 2, 1.06, 1.3, 0b1110),
+                ("XOR2", 2, 1.6, 1.7, 0b0110),
+                ("XNOR2", 2, 1.6, 1.6, 0b1001),
+                ("NAND3", 3, 1.06, 1.0, 0b0111_1111),
+                ("NOR3", 3, 1.06, 1.3, 0b0000_0001),
+                ("NAND4", 4, 1.33, 1.3, 0x7FFF),
+                ("NOR4", 4, 1.33, 1.7, 0x0001),
+                ("AOI21", 3, 1.06, 1.1, 0b0000_0111),
+                ("OAI21", 3, 1.06, 1.1, 0b0001_1111),
+                ("AOI22", 4, 1.33, 1.3, aoi22_tt()),
+                ("OAI22", 4, 1.33, 1.3, oai22_tt()),
+                ("MUX2", 3, 1.86, 1.8, mux2_tt()),
+            ],
+        )
+    }
+
+    /// The library's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The library's cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Index of the inverter cell.
+    pub fn inv(&self) -> usize {
+        self.inv
+    }
+
+    /// Index of the constant-0 tie cell.
+    pub fn tie0(&self) -> usize {
+        self.tie0
+    }
+
+    /// Index of the constant-1 tie cell.
+    pub fn tie1(&self) -> usize {
+        self.tie1
+    }
+
+    /// Builds the matching table: every `(cell, permutation, polarity)`
+    /// combination is expanded into the cut function it realizes, and the
+    /// cheapest realization per function is kept.
+    pub fn match_table(&self) -> MatchTable {
+        let inv = &self.cells[self.inv];
+        let mut by_tt: Vec<HashMap<u16, CellMatch>> = vec![HashMap::new(); 5];
+        for (ci, cell) in self.cells.iter().enumerate() {
+            let k = cell.n_inputs;
+            if k == 0 || cell.name == "TIE0" || cell.name == "TIE1" {
+                continue;
+            }
+            for perm in permutations(k) {
+                for neg_mask in 0u8..1 << k {
+                    let tt = remap_tt(cell.tt, k, &perm, neg_mask);
+                    let invs = neg_mask.count_ones() as f64;
+                    for out_neg in [false, true] {
+                        let tt = if out_neg { !tt & mask_k(k) } else { tt };
+                        let extra = invs + out_neg as u8 as f64;
+                        let m = CellMatch {
+                            cell: ci,
+                            perm,
+                            neg_mask,
+                            out_neg,
+                            area: cell.area + extra * inv.area,
+                            delay: cell.delay
+                                + if neg_mask != 0 { inv.delay } else { 0.0 }
+                                + if out_neg { inv.delay } else { 0.0 },
+                        };
+                        let slot = by_tt[k].entry(tt).or_insert(m);
+                        if m.area < slot.area || (m.area == slot.area && m.delay < slot.delay) {
+                            *slot = m;
+                        }
+                    }
+                }
+            }
+        }
+        MatchTable { by_tt }
+    }
+}
+
+fn mask_k(k: usize) -> u16 {
+    if k >= 4 {
+        0xFFFF
+    } else {
+        (1u16 << (1 << k)) - 1
+    }
+}
+
+fn aoi22_tt() -> u16 {
+    let mut tt = 0u16;
+    for m in 0..16u16 {
+        let (a, b, c, d) = (m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0);
+        if !((a && b) || (c && d)) {
+            tt |= 1 << m;
+        }
+    }
+    tt
+}
+
+fn oai22_tt() -> u16 {
+    let mut tt = 0u16;
+    for m in 0..16u16 {
+        let (a, b, c, d) = (m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0);
+        if !((a || b) && (c || d)) {
+            tt |= 1 << m;
+        }
+    }
+    tt
+}
+
+fn mux2_tt() -> u16 {
+    let mut tt = 0u16;
+    for m in 0..8u16 {
+        let (i0, i1, s) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+        if (s && i1) || (!s && i0) {
+            tt |= 1 << m;
+        }
+    }
+    tt
+}
+
+/// All permutations of `0..k` padded into `[u8; 4]`.
+fn permutations(k: usize) -> Vec<[u8; 4]> {
+    let mut items: Vec<u8> = (0..k as u8).collect();
+    let mut out = Vec::new();
+    permute(&mut items, 0, &mut out);
+    out
+}
+
+fn permute(items: &mut [u8], start: usize, out: &mut Vec<[u8; 4]>) {
+    if start == items.len() {
+        let mut p = [0u8; 4];
+        p[..items.len()].copy_from_slice(items);
+        out.push(p);
+        return;
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        permute(items, start + 1, out);
+        items.swap(start, i);
+    }
+}
+
+/// Computes the cut function realized by `cell_tt` when cell input `i` is
+/// driven by cut leaf `perm[i]`, inverted when bit `i` of `neg_mask` is
+/// set. The result is a truth table over the cut leaves.
+fn remap_tt(cell_tt: u16, k: usize, perm: &[u8; 4], neg_mask: u8) -> u16 {
+    let mut out = 0u16;
+    for leaf_assign in 0..1u16 << k {
+        // Build the cell-input assignment this leaf assignment induces.
+        let mut cell_assign = 0u16;
+        for i in 0..k {
+            let leaf = perm[i] as usize;
+            let mut v = leaf_assign >> leaf & 1 == 1;
+            if neg_mask >> i & 1 == 1 {
+                v = !v;
+            }
+            if v {
+                cell_assign |= 1 << i;
+            }
+        }
+        if cell_tt >> cell_assign & 1 == 1 {
+            out |= 1 << leaf_assign;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libraries_are_well_formed() {
+        for lib in [Library::mcnc_mini(), Library::nangate45_mini()] {
+            assert!(!lib.cells().is_empty());
+            assert_eq!(lib.cells()[lib.inv()].name, "INV");
+            for c in lib.cells() {
+                assert!((1..=4).contains(&c.n_inputs), "{}", c.name);
+                assert!(c.area >= 0.0 && c.delay >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mcnc_inverter_is_normalized() {
+        let lib = Library::mcnc_mini();
+        let inv = &lib.cells()[lib.inv()];
+        assert_eq!(inv.area, 1.0);
+        assert_eq!(inv.delay, 1.0);
+    }
+
+    #[test]
+    fn match_table_covers_all_nondegenerate_two_input_functions() {
+        let lib = Library::mcnc_mini();
+        let table = lib.match_table();
+        for tt in 0u16..16 {
+            // Skip functions that ignore a variable (constants and
+            // projections): those never appear as a gate's direct cut.
+            let dep0 = (0..4).any(|m| (tt >> m & 1) != (tt >> (m ^ 1) & 1));
+            let dep1 = (0..4).any(|m| (tt >> m & 1) != (tt >> (m ^ 2) & 1));
+            if !(dep0 && dep1) {
+                continue;
+            }
+            assert!(
+                table.lookup(2, tt).is_some(),
+                "2-input function {tt:04b} unmatched"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_realize_their_function() {
+        let lib = Library::mcnc_mini();
+        let table = lib.match_table();
+        // a & !b (tt 0b0010) must be realizable; verify the match's
+        // claimed structure reproduces the function.
+        let m = table.lookup(2, 0b0010).unwrap();
+        let cell = &lib.cells()[m.cell];
+        let mut tt = remap_tt(cell.tt, cell.n_inputs, &m.perm, m.neg_mask);
+        if m.out_neg {
+            tt = !tt & 0b1111;
+        }
+        assert_eq!(tt, 0b0010);
+    }
+
+    #[test]
+    fn permutation_polarity_matching_prefers_cheap_cells() {
+        let lib = Library::mcnc_mini();
+        let table = lib.match_table();
+        // NAND2 is the cheapest 2-input cell; its function should match
+        // at NAND2's bare area.
+        let m = table.lookup(2, 0b0111).unwrap();
+        assert_eq!(lib.cells()[m.cell].name, "NAND2");
+        assert_eq!(m.neg_mask, 0);
+        assert_eq!(m.area, 2.0);
+    }
+
+    #[test]
+    fn remap_tt_identity() {
+        // AND2 with identity permutation, no negation.
+        assert_eq!(remap_tt(0b1000, 2, &[0, 1, 0, 0], 0), 0b1000);
+        // Swapping inputs of AND is still AND.
+        assert_eq!(remap_tt(0b1000, 2, &[1, 0, 0, 0], 0), 0b1000);
+        // Negating one input of AND2: !a & b over leaves.
+        assert_eq!(remap_tt(0b1000, 2, &[0, 1, 0, 0], 0b01), 0b0100);
+    }
+}

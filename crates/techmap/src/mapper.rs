@@ -1,0 +1,333 @@
+use crate::cuts::{enumerate_cuts, Cut};
+use crate::library::{CellMatch, Library};
+use crate::netlist::{Gate, Mapping};
+use aig::{Aig, Fanouts, Node, NodeId};
+use std::collections::HashMap;
+
+/// Optimization objective of the cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapMode {
+    /// Minimize area flow (the paper reports area from an area-oriented
+    /// map, as produced by ABC's `amap`).
+    Area,
+    /// Minimize arrival time, breaking ties on area flow.
+    Delay,
+}
+
+#[derive(Debug, Clone)]
+struct Choice {
+    cut: Cut,
+    m: CellMatch,
+    area_flow: f64,
+    arrival: f64,
+}
+
+/// Maps `aig` onto `lib`, returning the mapped netlist with its area and
+/// critical-path delay.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or if some logic cone cannot be matched
+/// (impossible with the built-in libraries, which cover every 2-input
+/// function).
+pub fn map(aig: &Aig, lib: &Library, mode: MapMode) -> Mapping {
+    let order = aig.topo_order().expect("acyclic");
+    let cuts = enumerate_cuts(aig);
+    let table = lib.match_table();
+    let fanouts = Fanouts::build(aig);
+    let live = aig.live_mask();
+
+    // Dynamic programming over the AND nodes.
+    let mut best: Vec<Option<Choice>> = vec![None; aig.n_nodes()];
+    for &id in &order {
+        if !aig.node(id).is_and() || !live[id.index()] {
+            continue;
+        }
+        let mut chosen: Option<Choice> = None;
+        for cut in &cuts[id.index()] {
+            if cut.leaves == [id] || cut.leaves.contains(&NodeId::CONST0) {
+                continue;
+            }
+            let Some(&m) = table.lookup(cut.leaves.len(), cut.tt).as_deref() else {
+                continue;
+            };
+            let mut area_flow = m.area;
+            for &leaf in &cut.leaves {
+                if let Some(c) = &best[leaf.index()] {
+                    let refs = fanouts.n_refs(leaf).max(1) as f64;
+                    area_flow += c.area_flow / refs;
+                }
+            }
+            // Exact arrival model: inverter delay applies per inverted
+            // pin, matching how the netlist is built.
+            let cell = &lib.cells()[m.cell];
+            let inv_delay = lib.cells()[lib.inv()].delay;
+            let mut arrival = 0.0f64;
+            for pin in 0..cell.n_inputs {
+                let leaf = cut.leaves[m.perm[pin] as usize];
+                let mut arr = best[leaf.index()].as_ref().map_or(0.0, |c| c.arrival);
+                if m.neg_mask >> pin & 1 == 1 {
+                    arr += inv_delay;
+                }
+                arrival = arrival.max(arr);
+            }
+            arrival += cell.delay;
+            if m.out_neg {
+                arrival += inv_delay;
+            }
+            let cand = Choice {
+                cut: cut.clone(),
+                m,
+                area_flow,
+                arrival,
+            };
+            let better = match &chosen {
+                None => true,
+                Some(cur) => match mode {
+                    MapMode::Area => (cand.area_flow, cand.arrival) < (cur.area_flow, cur.arrival),
+                    MapMode::Delay => (cand.arrival, cand.area_flow) < (cur.arrival, cur.area_flow),
+                },
+            };
+            if better {
+                chosen = Some(cand);
+            }
+        }
+        best[id.index()] =
+            Some(chosen.unwrap_or_else(|| panic!("node {id} has no matchable cut")));
+    }
+
+    // Cover extraction: which nodes are actually instantiated.
+    let mut required = vec![false; aig.n_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for out in aig.outputs() {
+        let n = out.lit.node();
+        if aig.node(n).is_and() && !required[n.index()] {
+            required[n.index()] = true;
+            stack.push(n);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        let choice = best[n.index()].as_ref().expect("required nodes are mapped");
+        for &leaf in &choice.cut.leaves {
+            if aig.node(leaf).is_and() && !required[leaf.index()] {
+                required[leaf.index()] = true;
+                stack.push(leaf);
+            }
+        }
+    }
+
+    // Netlist construction.
+    let cells = lib.cells().to_vec();
+    let n_inputs = aig.n_pis();
+    let mut builder = Builder {
+        gates: Vec::new(),
+        n_nets: n_inputs,
+        node_net: HashMap::new(),
+        inv_net: HashMap::new(),
+        arrival: vec![0.0; n_inputs],
+        area: 0.0,
+        lib,
+    };
+    // PIs occupy nets 0..n_inputs; record their node -> net mapping.
+    for i in 0..n_inputs {
+        builder
+            .node_net
+            .insert(NodeId::new(1 + i), i);
+    }
+    for &id in &order {
+        if !required[id.index()] {
+            continue;
+        }
+        if let Node::And(..) = aig.node(id) {
+            let choice = best[id.index()].as_ref().expect("mapped");
+            builder.instantiate(id, choice);
+        }
+    }
+    // Primary outputs: resolve constants and complemented literals.
+    let mut outputs = Vec::with_capacity(aig.n_pos());
+    for out in aig.outputs() {
+        let lit = out.lit;
+        let net = if lit.node() == NodeId::CONST0 {
+            builder.tie(lit.is_neg())
+        } else {
+            let base = builder.node_net[&lit.node()];
+            if lit.is_neg() {
+                builder.invert(base)
+            } else {
+                base
+            }
+        };
+        outputs.push(net);
+    }
+    let delay = outputs
+        .iter()
+        .map(|&n| builder.arrival[n])
+        .fold(0.0f64, f64::max);
+
+    Mapping {
+        cells,
+        n_inputs,
+        n_nets: builder.n_nets,
+        outputs,
+        area: builder.area,
+        delay,
+        gates: builder.gates,
+    }
+}
+
+struct Builder<'a> {
+    gates: Vec<Gate>,
+    n_nets: usize,
+    node_net: HashMap<NodeId, usize>,
+    inv_net: HashMap<usize, usize>,
+    arrival: Vec<f64>,
+    area: f64,
+    lib: &'a Library,
+}
+
+impl Builder<'_> {
+    fn new_net(&mut self) -> usize {
+        let n = self.n_nets;
+        self.n_nets += 1;
+        self.arrival.push(0.0);
+        n
+    }
+
+    fn add_gate(&mut self, cell: usize, inputs: Vec<usize>) -> usize {
+        let out = self.new_net();
+        let c = &self.lib.cells()[cell];
+        let arr = inputs
+            .iter()
+            .map(|&n| self.arrival[n])
+            .fold(0.0f64, f64::max)
+            + c.delay;
+        self.arrival[out] = arr;
+        self.area += c.area;
+        self.gates.push(Gate {
+            cell,
+            inputs,
+            output: out,
+        });
+        out
+    }
+
+    fn invert(&mut self, net: usize) -> usize {
+        if let Some(&n) = self.inv_net.get(&net) {
+            return n;
+        }
+        let out = self.add_gate(self.lib.inv(), vec![net]);
+        self.inv_net.insert(net, out);
+        out
+    }
+
+    fn tie(&mut self, value: bool) -> usize {
+        let cell = if value { self.lib.tie1() } else { self.lib.tie0() };
+        // TIE cells formally have one (ignored) input; feed net 0 if it
+        // exists, else create a dangling net.
+        let dummy = if self.n_nets > 0 { 0 } else { self.new_net() };
+        self.add_gate(cell, vec![dummy])
+    }
+
+    fn instantiate(&mut self, id: NodeId, choice: &Choice) {
+        let cell = &self.lib.cells()[choice.m.cell];
+        let k = cell.n_inputs;
+        let mut inputs = Vec::with_capacity(k);
+        for pin in 0..k {
+            let leaf = choice.cut.leaves[choice.m.perm[pin] as usize];
+            let mut net = self.node_net[&leaf];
+            if choice.m.neg_mask >> pin & 1 == 1 {
+                net = self.invert(net);
+            }
+            inputs.push(net);
+        }
+        let mut out = self.add_gate(choice.m.cell, inputs);
+        if choice.m.out_neg {
+            out = self.invert(out);
+        }
+        self.node_net.insert(id, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify_function(g: &Aig, mapping: &Mapping, samples: usize) {
+        let n = g.n_pis();
+        for s in 0..samples {
+            let ins: Vec<bool> = (0..n)
+                .map(|i| (s.wrapping_mul(0x9e3779b9).wrapping_add(i * 0x85eb)) >> 7 & 1 == 1)
+                .collect();
+            assert_eq!(mapping.simulate(&ins), g.eval(&ins), "pattern {s}");
+        }
+    }
+
+    #[test]
+    fn mapping_preserves_function_exhaustively() {
+        let g = benchgen::adders::rca(3);
+        let lib = Library::mcnc_mini();
+        for mode in [MapMode::Area, MapMode::Delay] {
+            let m = map(&g, &lib, mode);
+            for p in 0..64usize {
+                let ins: Vec<bool> = (0..6).map(|i| p >> i & 1 == 1).collect();
+                assert_eq!(m.simulate(&ins), g.eval(&ins), "pattern {p} mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_preserves_function_on_larger_circuits() {
+        let lib = Library::mcnc_mini();
+        for g in [
+            benchgen::multipliers::wallace_multiplier(4),
+            benchgen::suite::by_name("c880").unwrap(),
+        ] {
+            let m = map(&g, &lib, MapMode::Area);
+            verify_function(&g, &m, 64);
+        }
+    }
+
+    #[test]
+    fn delay_mode_is_no_slower_than_area_mode() {
+        let g = benchgen::adders::rca(16);
+        let lib = Library::mcnc_mini();
+        let area = map(&g, &lib, MapMode::Area);
+        let delay = map(&g, &lib, MapMode::Delay);
+        assert!(delay.delay <= area.delay + 1e-9);
+        assert!(area.area <= delay.area + 1e-9);
+    }
+
+    #[test]
+    fn constant_and_inverted_outputs_map() {
+        let mut g = Aig::new("t", 2);
+        let y = g.and(g.pi(0), g.pi(1));
+        g.add_output(!y, "ny");
+        g.add_output(aig::Lit::TRUE, "one");
+        g.add_output(aig::Lit::FALSE, "zero");
+        let m = map(&g, &Library::mcnc_mini(), MapMode::Area);
+        assert_eq!(m.simulate(&[true, true]), vec![false, true, false]);
+        assert_eq!(m.simulate(&[true, false]), vec![true, true, false]);
+    }
+
+    #[test]
+    fn area_accounts_every_instance() {
+        let g = benchgen::adders::rca(4);
+        let lib = Library::mcnc_mini();
+        let m = map(&g, &lib, MapMode::Area);
+        let sum: f64 = m
+            .gates()
+            .iter()
+            .map(|gate| m.cell_of(gate).area)
+            .sum();
+        assert!((sum - m.area).abs() < 1e-9);
+        assert!(m.n_gates() > 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_gate_count() {
+        let g = benchgen::multipliers::array_multiplier(3);
+        let m = map(&g, &Library::nangate45_mini(), MapMode::Area);
+        let total: usize = m.cell_histogram().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, m.n_gates());
+    }
+}

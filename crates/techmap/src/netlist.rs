@@ -1,0 +1,91 @@
+use crate::library::Cell;
+
+/// A mapped gate instance: a library cell with input nets in cell-pin
+/// order and one output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Index into the mapping's cell list.
+    pub cell: usize,
+    /// Driving net per cell input pin.
+    pub inputs: Vec<usize>,
+    /// The net this gate drives.
+    pub output: usize,
+}
+
+/// A mapped gate-level netlist with its cost summary.
+///
+/// Nets `0..n_inputs` are the primary inputs; every other net is driven
+/// by exactly one gate. Gates are stored in topological order.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) n_inputs: usize,
+    pub(crate) n_nets: usize,
+    pub(crate) outputs: Vec<usize>,
+    /// Total cell area.
+    pub area: f64,
+    /// Critical-path delay (max output arrival time).
+    pub delay: f64,
+}
+
+impl Mapping {
+    /// The mapped gates, in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gate instances.
+    pub fn n_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// The net driving each primary output.
+    pub fn outputs(&self) -> &[usize] {
+        &self.outputs
+    }
+
+    /// The cell definition for a gate.
+    pub fn cell_of(&self, gate: &Gate) -> &Cell {
+        &self.cells[gate.cell]
+    }
+
+    /// Count of instances per cell name, sorted by name (for reports).
+    pub fn cell_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for g in &self.gates {
+            *counts.entry(self.cells[g.cell].name.clone()).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Simulates the mapped netlist on one input pattern.
+    ///
+    /// Used by tests to verify that technology mapping preserved the
+    /// circuit function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n_inputs`.
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.n_inputs, "input arity mismatch");
+        let mut nets = vec![false; self.n_nets];
+        nets[..self.n_inputs].copy_from_slice(inputs);
+        for gate in &self.gates {
+            let cell = &self.cells[gate.cell];
+            let mut assign = 0usize;
+            for (i, &net) in gate.inputs.iter().enumerate() {
+                if nets[net] {
+                    assign |= 1 << i;
+                }
+            }
+            nets[gate.output] = cell.tt >> assign & 1 == 1;
+        }
+        self.outputs.iter().map(|&n| nets[n]).collect()
+    }
+}

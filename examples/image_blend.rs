@@ -1,0 +1,100 @@
+//! Error-tolerant application demo: alpha-blending two synthetic images
+//! with an approximate 8x8 multiplier, measuring the image quality
+//! (PSNR) that survives approximation.
+//!
+//! This mirrors the paper's motivation: image processing tolerates small
+//! arithmetic errors, so an approximate multiplier with a bounded NMED
+//! buys area at negligible visual cost.
+//!
+//! Run: `cargo run --release --example image_blend`
+
+use accals::{Accals, AccalsConfig};
+use errmetrics::MetricKind;
+use techmap::{map, Library, MapMode};
+
+const W: usize = 48;
+const H: usize = 48;
+
+/// Deterministic synthetic test image: overlapping gradients and disks.
+fn test_image(seed: u64) -> Vec<u8> {
+    let mut img = vec![0u8; W * H];
+    for y in 0..H {
+        for x in 0..W {
+            let g = (x * 255 / W + y * 128 / H) as u64;
+            let cx = (seed % W as u64) as isize;
+            let cy = (seed / 3 % H as u64) as isize;
+            let d2 = (x as isize - cx).pow(2) + (y as isize - cy).pow(2);
+            let disk = if d2 < 200 { 90 } else { 0 };
+            img[y * W + x] = ((g + disk + seed * 31) % 256) as u8;
+        }
+    }
+    img
+}
+
+/// Multiplies two bytes through the (possibly approximate) circuit.
+fn mul_through(g: &aig::Aig, a: u8, b: u8) -> u32 {
+    let mut ins = benchgen::encode(a as u128, 8);
+    ins.extend(benchgen::encode(b as u128, 8));
+    benchgen::decode(&g.eval(&ins)) as u32
+}
+
+/// Alpha-blend: `out = (a * alpha + b * (255 - alpha)) / 255`, with both
+/// products computed by `mul`.
+fn blend(a: &[u8], b: &[u8], alpha: u8, mul: impl Fn(u8, u8) -> u32) -> Vec<u8> {
+    a.iter()
+        .zip(b)
+        .map(|(&pa, &pb)| {
+            let v = (mul(pa, alpha) + mul(pb, 255 - alpha)) / 255;
+            v.min(255) as u8
+        })
+        .collect()
+}
+
+fn psnr(a: &[u8], b: &[u8]) -> f64 {
+    let mse: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+fn main() {
+    let golden = benchgen::multipliers::array_multiplier(8);
+    let lib = Library::mcnc_mini();
+    let base_area = map(&golden, &lib, MapMode::Area).area;
+    let img_a = test_image(7);
+    let img_b = test_image(23);
+    let reference = blend(&img_a, &img_b, 96, |a, b| a as u32 * b as u32);
+
+    println!("approximating an 8x8 array multiplier under NMED bounds:");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "NMED bound", "area %", "gates", "PSNR (dB)"
+    );
+    for bound in [0.0001, 0.001, 0.005, 0.02] {
+        let cfg = AccalsConfig::new(MetricKind::Nmed, bound);
+        let result = Accals::new(cfg).synthesize(&golden);
+        let area = map(&result.aig, &lib, MapMode::Area).area;
+        let blended = blend(&img_a, &img_b, 96, |a, b| mul_through(&result.aig, a, b));
+        println!(
+            "{:>10} {:>9.1}% {:>12} {:>10.1}",
+            format!("{:.2}%", bound * 100.0),
+            100.0 * area / base_area,
+            result.aig.n_ands(),
+            psnr(&blended, &reference)
+        );
+    }
+    println!(
+        "\nExpected shape: area falls as the bound loosens while PSNR stays \
+         high (> 30 dB is visually near-lossless)."
+    );
+}

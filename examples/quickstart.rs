@@ -1,0 +1,65 @@
+//! Quickstart: approximate an 8x8 Wallace multiplier under a 5% error
+//! rate bound and report the savings.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use accals::{Accals, AccalsConfig};
+use errmetrics::MetricKind;
+use techmap::{map, Library, MapMode};
+
+fn main() {
+    // 1. Build (or load) the golden circuit. Generators for adders,
+    //    multipliers, dividers, ALUs, and more live in `benchgen`; real
+    //    netlists can be loaded with `circuitio::aiger` / `circuitio::blif`.
+    let golden = benchgen::multipliers::wallace_multiplier(8);
+    println!(
+        "golden: {} ({} inputs, {} outputs, {} AND gates)",
+        golden.name(),
+        golden.n_pis(),
+        golden.n_pos(),
+        golden.n_ands()
+    );
+
+    // 2. Configure AccALS: error metric, bound, and (optionally) the
+    //    paper's parameters t_b / lambda / l_e / l_d / r_ref / r_sel.
+    let cfg = AccalsConfig::new(MetricKind::Er, 0.05);
+    let result = Accals::new(cfg).synthesize(&golden);
+
+    println!(
+        "approximate: {} AND gates, measured ER {:.3}% (bound 5%), \
+         {} LACs applied over {} rounds in {:.2?}",
+        result.aig.n_ands(),
+        result.error * 100.0,
+        result.total_applied(),
+        result.rounds.len(),
+        result.runtime,
+    );
+
+    // 3. Map both circuits to standard cells to compare real cost.
+    let lib = Library::mcnc_mini();
+    let before = map(&golden, &lib, MapMode::Area);
+    let after = map(&result.aig, &lib, MapMode::Area);
+    println!(
+        "mapped area: {:.0} -> {:.0} ({:.1}% of original)",
+        before.area,
+        after.area,
+        100.0 * after.area / before.area
+    );
+    println!(
+        "mapped delay: {:.1} -> {:.1} ({:.1}% of original)",
+        before.delay,
+        after.delay,
+        100.0 * after.delay / before.delay
+    );
+
+    // 4. The result is an ordinary AIG: inspect, remap, or export it.
+    let few = 3usize.min(result.rounds.len());
+    println!("first {few} rounds of the trace:");
+    for t in result.rounds.iter().take(few) {
+        println!(
+            "  round {}: {} candidates, |L_top|={}, |L_sol|={}, |L_indp|={}, \
+             applied {}, error {:.4} -> {:.4}",
+            t.round, t.n_candidates, t.r_top, t.n_sol, t.n_indp, t.applied, t.e_before, t.e_after
+        );
+    }
+}

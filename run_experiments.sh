@@ -1,0 +1,22 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper (see DESIGN.md §4).
+# Usage: ./run_experiments.sh [--reps 3]
+set -u
+cd "$(dirname "$0")"
+REPS="${1:---reps}"; shift 2>/dev/null || true
+mkdir -p results
+run() {
+    echo "=== $* ==="
+    cargo run -p accals-bench --release --bin "$@" 2>/dev/null
+}
+run table1_benchmarks
+run fig4_lindp_ratio
+run fig5_er_sweep   # also emits the Fig. 6(a) per-circuit ER view
+run fig6_per_circuit -- --metric nmed
+run fig6_per_circuit -- --metric mred
+run table2_epfl
+run fig7_amosa_curves
+run table3_amosa_runtime
+run ablations
+run index_validation
+run sample_sweep

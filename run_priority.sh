@@ -1,0 +1,15 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+run() {
+    echo "=== $* ==="
+    cargo run -p accals-bench --release --bin "$@" 2>/dev/null
+}
+run table2_epfl
+run fig7_amosa_curves
+run table3_amosa_runtime
+run ablations
+run sample_sweep
+run index_validation
+run fig6_per_circuit -- --metric nmed
+run fig6_per_circuit -- --metric mred

@@ -1,0 +1,17 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+run() {
+    echo "=== $* ==="
+    cargo run -p accals-bench --release --bin "$@" 2>/dev/null
+}
+run fig5_er_sweep
+run fig6_per_circuit -- --metric nmed
+run fig6_per_circuit -- --metric mred
+run table2_epfl
+run fig7_amosa_curves
+run table3_amosa_runtime
+run ablations
+run index_validation
+run sample_sweep

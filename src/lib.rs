@@ -1,0 +1,25 @@
+//! Umbrella crate for the AccALS reproduction workspace.
+//!
+//! Re-exports every crate so examples and downstream users can depend on
+//! a single package:
+//!
+//! - [`accals`] — the AccALS framework (the paper's contribution),
+//! - [`baselines`] — SEALS- and AMOSA-style comparison flows,
+//! - [`aig`], [`bitsim`], [`errmetrics`], [`lac`], [`estimate`],
+//!   [`misolver`], [`techmap`], [`circuitio`], [`benchgen`] — the
+//!   substrates.
+//!
+//! See the repository README for a quickstart and DESIGN.md for the
+//! system inventory.
+
+pub use accals;
+pub use aig;
+pub use baselines;
+pub use benchgen;
+pub use bitsim;
+pub use circuitio;
+pub use errmetrics;
+pub use estimate;
+pub use lac;
+pub use misolver;
+pub use techmap;

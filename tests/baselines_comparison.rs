@@ -1,0 +1,104 @@
+//! Integration tests comparing the flows against each other — the
+//! qualitative claims of the paper, checked in miniature.
+
+use accals::{Accals, AccalsConfig, SizeParam};
+use baselines::{Amosa, AmosaConfig, Seals, SealsConfig};
+use errmetrics::MetricKind;
+
+fn accals_cfg(bound: f64) -> AccalsConfig {
+    let mut cfg = AccalsConfig::new(MetricKind::Er, bound);
+    cfg.r_ref = SizeParam::Fixed(60);
+    cfg.r_sel = SizeParam::Fixed(12);
+    cfg
+}
+
+#[test]
+fn accals_needs_fewer_rounds_than_seals() {
+    // The paper's core claim: selecting multiple LACs per round reaches
+    // a comparable circuit in far fewer (expensive) rounds.
+    let golden = benchgen::suite::by_name("mtp8").expect("suite circuit");
+    let bound = 0.05;
+    let acc = Accals::new(accals_cfg(bound)).synthesize(&golden);
+    let seals = Seals::new(SealsConfig::new(MetricKind::Er, bound)).synthesize(&golden);
+
+    assert!(
+        acc.rounds.len() < seals.rounds,
+        "AccALS rounds {} must be fewer than SEALS rounds {}",
+        acc.rounds.len(),
+        seals.rounds
+    );
+    // Quality stays comparable (within 10% relative gate count).
+    let a = acc.aig.n_ands() as f64;
+    let s = seals.aig.n_ands() as f64;
+    assert!(
+        (a - s).abs() / s.max(1.0) < 0.10,
+        "gate counts diverged: AccALS {a}, SEALS {s}"
+    );
+}
+
+#[test]
+fn accals_applies_multiple_lacs_per_round_on_average() {
+    let golden = benchgen::suite::by_name("square").expect("suite circuit");
+    let acc = Accals::new(accals_cfg(0.01)).synthesize(&golden);
+    let per_round = acc.total_applied() as f64 / acc.rounds.len().max(1) as f64;
+    assert!(
+        per_round > 1.5,
+        "expected multi-LAC rounds, got {per_round:.2} LACs/round"
+    );
+}
+
+#[test]
+fn amosa_front_is_dominated_or_matched_by_accals() {
+    // Paper Fig. 7: at equal error, AccALS finds equal or smaller
+    // circuits than the annealing baseline (given its default budget).
+    let golden = benchgen::multipliers::array_multiplier(4);
+    let mut cfg = AmosaConfig::new(MetricKind::Er, 0.10);
+    cfg.iterations = 400;
+    let amosa = Amosa::new(cfg).synthesize(&golden);
+    let acc = Accals::new(accals_cfg(0.10)).synthesize(&golden);
+    if let Some(best) = amosa.best_within(0.10) {
+        assert!(
+            acc.aig.n_ands() <= best.n_ands + best.n_ands / 5,
+            "AccALS {} gates should be competitive with AMOSA {}",
+            acc.aig.n_ands(),
+            best.n_ands
+        );
+    }
+}
+
+#[test]
+fn both_flows_agree_on_zero_reduction_cases() {
+    // At a bound below the smallest achievable ΔE on an adder, neither
+    // flow can change the circuit meaningfully.
+    let golden = benchgen::adders::rca(8);
+    let acc = Accals::new(accals_cfg(0.0001)).synthesize(&golden);
+    let seals = Seals::new(SealsConfig::new(MetricKind::Er, 0.0001)).synthesize(&golden);
+    assert!(acc.error <= 0.0001);
+    assert!(seals.error <= 0.0001);
+    // Whatever is applied must be error-free restructuring.
+    assert!(acc.aig.n_ands() <= golden.n_ands());
+    assert!(seals.aig.n_ands() <= golden.n_ands());
+}
+
+#[test]
+fn seals_and_accals_share_candidate_infrastructure() {
+    // Same seed, same patterns, same candidate generation: the first
+    // LAC SEALS picks must be among AccALS's first-round top set.
+    use bitsim::{simulate, Patterns};
+    use errmetrics::ErrorEval;
+    use estimate::BatchEstimator;
+
+    let golden = benchgen::multipliers::wallace_multiplier(4);
+    let pats = Patterns::for_circuit(golden.n_pis(), 1 << 13, 1 << 13, 0xACC_A15);
+    let sim = simulate(&golden, &pats);
+    let sigs = sim.output_sigs(&golden);
+    let mut eval = ErrorEval::new(MetricKind::Er, &sigs, pats.n_patterns());
+    eval.rebase(&sigs);
+    let cands = lac::generate_candidates(&golden, &sim, &lac::CandidateConfig::default());
+    let mut est = BatchEstimator::new(&golden, &sim, &eval);
+    let mut scored = est.score_all(&cands);
+    scored.retain(|s| s.gain > 0);
+    assert!(!scored.is_empty());
+    let top = accals::topset::obtain_top_set(scored, 0.0, 0.05, 100);
+    assert!(top.len() > 1, "top set should hold multiple candidates");
+}

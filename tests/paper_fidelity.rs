@@ -1,0 +1,114 @@
+//! Tests pinning the reproduction to the paper's stated setup: default
+//! parameters, the worked example of Section II-C, and the benchmark
+//! banding.
+
+use accals::AccalsConfig;
+use errmetrics::MetricKind;
+
+#[test]
+fn default_parameters_match_section_three() {
+    let cfg = AccalsConfig::new(MetricKind::Er, 0.05);
+    assert_eq!(cfg.t_b, 0.5, "bound t_b");
+    assert_eq!(cfg.lambda, 0.9, "parameter lambda");
+    assert_eq!(cfg.l_e, 0.9, "parameter l_e");
+    assert_eq!(cfg.l_d, 0.3, "parameter l_d");
+    assert!(cfg.race_random, "Algorithm 1 races L_indp against L_rand");
+}
+
+#[test]
+fn r_ref_and_r_sel_bands_match_section_three() {
+    use accals::SizeParam::Auto;
+    // <600 nodes: (100, 20); 600..4999: (200, 40); >=5000: (400, 80).
+    assert_eq!((Auto.resolve(599, 0), Auto.resolve(599, 1)), (100, 20));
+    assert_eq!((Auto.resolve(600, 0), Auto.resolve(600, 1)), (200, 40));
+    assert_eq!((Auto.resolve(4999, 0), Auto.resolve(4999, 1)), (200, 40));
+    assert_eq!((Auto.resolve(5000, 0), Auto.resolve(5000, 1)), (400, 80));
+}
+
+#[test]
+fn paper_error_metrics_are_supported() {
+    // "this work considers three statistical error metrics, ER, NMED,
+    // and MRED" — all three must parse and be computable.
+    for name in ["er", "nmed", "mred"] {
+        let kind: MetricKind = name.parse().expect("paper metric parses");
+        let _cfg = AccalsConfig::new(kind, 0.01);
+    }
+}
+
+#[test]
+fn table_one_suite_is_complete() {
+    // All 18 benchmark names of Table I build.
+    let all: Vec<&str> = benchgen::suite::SMALL_ISCAS_ARITH
+        .iter()
+        .chain(benchgen::suite::EPFL_LIKE.iter())
+        .chain(benchgen::suite::LGSYNT_LIKE.iter())
+        .copied()
+        .collect();
+    assert_eq!(all.len(), 18);
+    for name in all {
+        assert!(benchgen::suite::by_name(name).is_some(), "{name}");
+    }
+}
+
+#[test]
+fn example_two_conflict_is_detected() {
+    // Example 2: L({2},4) and L({1,3},4) share target node 4 and cannot
+    // be applied simultaneously.
+    use aig::NodeId;
+    use lac::{Lac, LacKind, ScoredLac};
+
+    let make = |kind, delta_e| ScoredLac {
+        lac: Lac::new(NodeId::new(4), kind),
+        delta_e,
+        gain: 1,
+    };
+    let l_top = vec![
+        make(
+            LacKind::Wire {
+                sn: NodeId::new(2),
+                neg: false,
+            },
+            0.01,
+        ),
+        make(
+            LacKind::Binary {
+                sns: [NodeId::new(1), NodeId::new(3)],
+                tt: 0b1110,
+            },
+            0.02,
+        ),
+    ];
+    let graph = accals::conflict::conflict_graph(&l_top);
+    assert!(graph.has_edge(0, 1), "Type-1 conflict detected");
+    let sol = accals::conflict::find_solve_conflicts(&l_top);
+    assert_eq!(sol.len(), 1, "only one LAC per target node survives");
+    assert_eq!(sol[0].delta_e, 0.01, "the lighter LAC is kept");
+}
+
+#[test]
+fn custom_genlib_library_reports_costs() {
+    // A user-provided genlib library drives area/delay reporting
+    // end-to-end.
+    let lib = techmap::genlib::parse(
+        "GATE INV 1.0 Y=!A;\nPIN A INV 1 999 0.9 0.1 0.9 0.1\n\
+         GATE NAND2 2.0 Y=!(A*B);\nPIN * INV 1 999 1.0 0.1 1.0 0.1\n\
+         GATE NOR2 2.2 Y=!(A+B);\nPIN * INV 1 999 1.1 0.1 1.1 0.1\n",
+    )
+    .expect("valid genlib");
+    let golden = benchgen::multipliers::array_multiplier(4);
+    let result = accals::Accals::new({
+        let mut c = AccalsConfig::new(MetricKind::Er, 0.05);
+        c.r_ref = accals::SizeParam::Fixed(40);
+        c.r_sel = accals::SizeParam::Fixed(8);
+        c
+    })
+    .synthesize(&golden);
+    let before = techmap::map(&golden, &lib, techmap::MapMode::Area);
+    let after = techmap::map(&result.aig, &lib, techmap::MapMode::Area);
+    assert!(after.area <= before.area);
+    // The NAND/NOR/INV-only mapping still computes the right function.
+    for p in [0usize, 5, 77, 160, 255] {
+        let ins: Vec<bool> = (0..8).map(|i| p >> i & 1 == 1).collect();
+        assert_eq!(after.simulate(&ins), result.aig.eval(&ins));
+    }
+}
