@@ -3,14 +3,14 @@ use crate::indep::select_indep_lacs;
 use crate::topset::obtain_top_set;
 use crate::trace::RoundTrace;
 use crate::AccalsConfig;
-use aig::Aig;
+use aig::{Aig, Lit};
 use bitsim::{simulate, Patterns};
 use errmetrics::{error, ErrorEval};
-use estimate::BatchEstimator;
+use estimate::{BatchEstimator, MaskCache};
 use lac::{apply_all, ApplyReport, Lac, ScoredLac};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use prng::rngs::StdRng;
+use prng::seq::SliceRandom;
+use prng::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// The AccALS synthesis engine. Construct with a configuration, then
@@ -166,8 +166,12 @@ impl Accals {
         let mut current = golden.clone();
         let mut e = 0.0_f64;
         let mut rounds: Vec<RoundTrace> = Vec::new();
-        let mut force_single = false;
         let mut rounds_since_shrink = 0usize;
+        // Transfer masks survive across rounds; `last_remap` carries the
+        // node remapping of the accepted edit so the cache can tell
+        // which fanout cones the round actually dirtied.
+        let mut mask_cache = MaskCache::new();
+        let mut last_remap: Option<Vec<Option<Lit>>> = None;
 
         for round in 0..cfg.max_rounds {
             let sim = simulate(&current, &pats);
@@ -176,7 +180,13 @@ impl Accals {
             if cands.is_empty() {
                 break;
             }
-            let mut estimator = BatchEstimator::new(&current, &sim, &eval);
+            let mut estimator = BatchEstimator::with_cache(
+                &current,
+                &sim,
+                &eval,
+                &mut mask_cache,
+                last_remap.as_deref(),
+            );
             let mut scored = estimator.score_all(&cands);
             // A LAC must reduce hardware cost; changes that cost more
             // nodes than their MFFC frees are not LACs at all.
@@ -185,23 +195,38 @@ impl Accals {
                 break;
             }
 
-            let single_mode = e > cfg.l_e * cfg.error_bound || force_single;
-            let mut trace = if single_mode {
+            let single_mode = e > cfg.l_e * cfg.error_bound;
+            let (next, mut t, remap) = if single_mode {
                 self.single_round(&current, &golden_sigs, &pats, scored, e)
+                    .expect("scored list is non-empty")
             } else {
-                self.multi_round(
-                    &current,
-                    &golden_sigs,
-                    &pats,
-                    scored,
-                    e,
-                    r_ref,
-                    r_sel,
-                    &mut rng,
-                )
+                let (n1, t1, r1) = self
+                    .multi_round(
+                        &current,
+                        &golden_sigs,
+                        &pats,
+                        scored.clone(),
+                        e,
+                        r_ref,
+                        r_sel,
+                        &mut rng,
+                    )
+                    .expect("round produced a result");
+                let progress = t1.applied > 0
+                    && n1.n_ands() <= current.n_ands()
+                    && (n1.n_ands() < current.n_ands() || t1.e_after != e);
+                if progress {
+                    (n1, t1, r1)
+                } else {
+                    // The multi-LAC set churned without moving the
+                    // circuit. Retry with single selection from the SAME
+                    // scored list: the expensive simulate + estimate work
+                    // is already paid for, so this stays one round rather
+                    // than burning a fresh estimation pass on the retry.
+                    self.single_round(&current, &golden_sigs, &pats, scored, e)
+                        .expect("scored list is non-empty")
+                }
             };
-            let (next, trace_data) = trace.take().expect("round produced a result");
-            let mut t = trace_data;
             t.round = round;
             let e_after = t.e_after;
             let applied = t.applied;
@@ -225,21 +250,19 @@ impl Accals {
                     break;
                 }
             }
-            let progress = applied > 0 && (shrunk || e_after != e);
-            if !progress {
-                if single_mode {
-                    // Even single-LAC retry found nothing that moves the
-                    // circuit: the flow has converged.
-                    break;
-                }
-                // Discard the fruitless multi-LAC result and retry with
-                // single selection next round.
-                force_single = true;
-                continue;
+            if !(applied > 0 && next.n_ands() <= current.n_ands() && (shrunk || e_after != e)) {
+                // Neither the multi set nor the single-LAC retry moved
+                // the circuit forward. Accepting an area-increasing edit
+                // is never progress — gain estimates can be off by a
+                // node after strashing, and taking such an edit lets the
+                // flow oscillate between two circuits forever (grow with
+                // lower error, re-shrink, repeat). The flow has
+                // converged.
+                break;
             }
-            force_single = false;
             current = next;
             e = e_after;
+            last_remap = Some(remap);
         }
 
         SynthesisResult {
@@ -253,18 +276,21 @@ impl Accals {
     }
 
     /// Applies `lacs` to a copy of `base`, sweeps, and measures the
-    /// error against the golden signatures.
+    /// error against the golden signatures. The returned remap sends
+    /// node ids of `base` (plus nodes appended by the edit) to literals
+    /// of the result, as produced by [`Aig::cleanup`]; the mask cache
+    /// consumes it to keep clean fanout cones across rounds.
     fn apply_and_measure(
         &self,
         base: &Aig,
         lacs: &[ScoredLac],
         golden_sigs: &[Vec<u64>],
         pats: &Patterns,
-    ) -> (Aig, f64, ApplyReport) {
+    ) -> (Aig, f64, ApplyReport, Vec<Option<Lit>>) {
         let mut copy = base.clone();
         let plain: Vec<Lac> = lacs.iter().map(|s| s.lac).collect();
         let report = apply_all(&mut copy, &plain);
-        copy.cleanup().expect("editing keeps the graph acyclic");
+        let remap = copy.cleanup().expect("editing keeps the graph acyclic");
         let sim = simulate(&copy, pats);
         let e = error(
             self.cfg.metric,
@@ -272,7 +298,7 @@ impl Accals {
             &sim.output_sigs(&copy),
             pats.n_patterns(),
         );
-        (copy, e, report)
+        (copy, e, report, remap)
     }
 
     fn single_round(
@@ -282,7 +308,7 @@ impl Accals {
         pats: &Patterns,
         scored: Vec<ScoredLac>,
         e: f64,
-    ) -> Option<(Aig, RoundTrace)> {
+    ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
         let n_candidates = scored.len();
         let mut top = scored;
         top.sort_by(|a, b| {
@@ -292,22 +318,24 @@ impl Accals {
                 .then(b.gain.cmp(&a.gain))
                 .then(a.lac.tn.cmp(&b.lac.tn))
         });
-        // Try candidates in order until one makes progress (area shrinks
-        // or the error moves). A candidate that overshoots the bound is
-        // terminal: Algorithm 1 stops there.
-        let mut last: Option<(ScoredLac, Aig, f64, lac::ApplyReport)> = None;
+        // Try candidates in order until one makes progress (area shrinks,
+        // or the error moves at equal area — never area growth, which
+        // would let the flow cycle). A candidate that overshoots the
+        // bound is terminal: Algorithm 1 stops there.
+        let mut last: Option<(ScoredLac, Aig, f64, lac::ApplyReport, Vec<Option<Lit>>)> = None;
         for best in top.into_iter().take(64) {
-            let (next, e_after, report) =
+            let (next, e_after, report, remap) =
                 self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
-            let progress = next.n_ands() < current.n_ands() || e_after != e;
+            let progress = next.n_ands() <= current.n_ands()
+                && (next.n_ands() < current.n_ands() || e_after != e);
             let terminal = e_after > self.cfg.error_bound;
             let done = progress || terminal;
-            last = Some((best, next, e_after, report));
+            last = Some((best, next, e_after, report, remap));
             if done {
                 break;
             }
         }
-        let (best, next, e_after, report) = last?;
+        let (best, next, e_after, report, remap) = last?;
         let n_ands_after = next.n_ands();
         Some((
             next,
@@ -328,6 +356,7 @@ impl Accals {
                 e_est: e + best.delta_e,
                 n_ands_after,
             },
+            remap,
         ))
     }
 
@@ -342,7 +371,7 @@ impl Accals {
         r_ref: usize,
         r_sel: usize,
         rng: &mut StdRng,
-    ) -> Option<(Aig, RoundTrace)> {
+    ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
         let cfg = &self.cfg;
         let n_candidates = scored.len();
         let l_top = obtain_top_set(scored, e, cfg.error_bound, r_ref);
@@ -364,16 +393,17 @@ impl Accals {
             Vec::new()
         };
 
-        let (g1, e1, rep1) = self.apply_and_measure(current, &l_indp, golden_sigs, pats);
-        let (mut next, mut e_after, mut report, mut chose_indp, mut chosen) =
-            (g1, e1, rep1, true, &l_indp);
+        let (g1, e1, rep1, rm1) = self.apply_and_measure(current, &l_indp, golden_sigs, pats);
+        let (mut next, mut e_after, mut report, mut remap, mut chose_indp, mut chosen) =
+            (g1, e1, rep1, rm1, true, &l_indp);
         if cfg.race_random {
-            let (g2, e2, rep2) = self.apply_and_measure(current, &l_rand, golden_sigs, pats);
+            let (g2, e2, rep2, rm2) = self.apply_and_measure(current, &l_rand, golden_sigs, pats);
             chose_indp = e_after < e2 || (e_after == e2 && l_indp.len() >= l_rand.len());
             if !chose_indp {
                 next = g2;
                 e_after = e2;
                 report = rep2;
+                remap = rm2;
                 chosen = &l_rand;
             }
         }
@@ -386,11 +416,12 @@ impl Accals {
             let beta = (e_after - e_est) / e_after;
             if beta > cfg.l_d {
                 let best = l_top[0].clone();
-                let (g, eb, rep) =
+                let (g, eb, rep, rm) =
                     self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
                 next = g;
                 e_after = eb;
                 report = rep;
+                remap = rm;
                 e_est = e + best.delta_e;
                 reverted = true;
             }
@@ -416,6 +447,7 @@ impl Accals {
                 e_est,
                 n_ands_after,
             },
+            remap,
         ))
     }
 }

@@ -16,8 +16,8 @@ use bitsim::{simulate, Patterns};
 use errmetrics::{error, ErrorEval, MetricKind};
 use estimate::BatchEstimator;
 use lac::{apply_all, Lac};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Configuration for an AMOSA-style run.

@@ -25,8 +25,8 @@ use bitsim::{simulate, Patterns};
 use errmetrics::{ErrorEval, MetricKind};
 use estimate::BatchEstimator;
 use lac::{CandidateConfig, Lac};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 fn main() {
     let n_pairs: usize = arg("pairs").and_then(|s| s.parse().ok()).unwrap_or(400);

@@ -4,8 +4,8 @@
 
 use crate::primitives::{input_word, minterms, output_word};
 use aig::{Aig, Lit};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 /// Unsigned comparator: two `width`-bit inputs, outputs `lt`, `eq`, `gt`.
 pub fn comparator(width: usize) -> Aig {

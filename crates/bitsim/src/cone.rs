@@ -1,5 +1,49 @@
 use crate::sim::Sim;
 use aig::{Aig, Fanouts, Node, NodeId};
+use std::sync::Arc;
+
+/// The immutable topology snapshot a [`ConeSimulator`] works against:
+/// topological positions plus the fanout index. Build it once per circuit
+/// revision and share it (it is cheaply cloneable via [`Arc`]) between
+/// the per-thread simulators of a parallel mask-building pass.
+#[derive(Debug)]
+pub struct ConeTopology {
+    n_nodes: usize,
+    topo_pos: Vec<u32>,
+    fanouts: Fanouts,
+}
+
+impl ConeTopology {
+    /// Snapshots `aig`'s topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn build(aig: &Aig) -> Arc<Self> {
+        let order = aig
+            .topo_order()
+            .expect("cone simulation requires an acyclic graph");
+        let mut topo_pos = vec![0u32; aig.n_nodes()];
+        for (i, id) in order.iter().enumerate() {
+            topo_pos[id.index()] = i as u32;
+        }
+        Arc::new(ConeTopology {
+            n_nodes: aig.n_nodes(),
+            topo_pos,
+            fanouts: Fanouts::build(aig),
+        })
+    }
+
+    /// The fanout index of the snapshot.
+    pub fn fanouts(&self) -> &Fanouts {
+        &self.fanouts
+    }
+
+    /// The number of nodes in the snapshotted graph.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+}
 
 /// Incremental re-simulation of the transitive-fanout cone of a single
 /// node.
@@ -11,17 +55,24 @@ use aig::{Aig, Fanouts, Node, NodeId};
 /// batch evaluation of thousands of candidate local changes tractable.
 ///
 /// The simulator snapshots the graph's topology at construction time;
-/// build a fresh one after editing the graph.
+/// build a fresh one after editing the graph. When several simulators run
+/// over the same circuit in parallel, build one [`ConeTopology`] and hand
+/// each thread its own simulator via [`ConeSimulator::with_topology`] —
+/// the scratch state is per-simulator, the topology is shared.
 #[derive(Debug)]
 pub struct ConeSimulator {
-    n_nodes: usize,
-    topo_pos: Vec<u32>,
-    fanouts: Fanouts,
+    topo: Arc<ConeTopology>,
     /// Scratch signature storage for touched nodes.
     scratch: Vec<u64>,
-    /// Whether a node currently has a scratch signature.
+    /// Whether a node's signature currently differs from the base
+    /// simulation (its new value lives in `scratch`).
     touched: Vec<bool>,
     touched_list: Vec<NodeId>,
+    /// Structural-cone membership flags and the cone member list.
+    in_cone: Vec<bool>,
+    cone: Vec<NodeId>,
+    /// Per-call re-evaluation buffer of `stride` words.
+    tmp: Vec<u64>,
 }
 
 impl ConeSimulator {
@@ -32,24 +83,32 @@ impl ConeSimulator {
     ///
     /// Panics if the graph is cyclic.
     pub fn new(aig: &Aig, stride: usize) -> Self {
-        let order = aig.topo_order().expect("cone simulation requires an acyclic graph");
-        let mut topo_pos = vec![0u32; aig.n_nodes()];
-        for (i, id) in order.iter().enumerate() {
-            topo_pos[id.index()] = i as u32;
-        }
+        Self::with_topology(ConeTopology::build(aig), stride)
+    }
+
+    /// Prepares a cone simulator over an existing topology snapshot,
+    /// allocating only the per-simulator scratch state.
+    pub fn with_topology(topo: Arc<ConeTopology>, stride: usize) -> Self {
+        let n = topo.n_nodes;
         ConeSimulator {
-            n_nodes: aig.n_nodes(),
-            topo_pos,
-            fanouts: Fanouts::build(aig),
-            scratch: vec![0u64; aig.n_nodes() * stride],
-            touched: vec![false; aig.n_nodes()],
+            topo,
+            scratch: vec![0u64; n * stride],
+            touched: vec![false; n],
             touched_list: Vec::new(),
+            in_cone: vec![false; n],
+            cone: Vec::new(),
+            tmp: Vec::new(),
         }
     }
 
     /// The fanout index snapshot held by this simulator.
     pub fn fanouts(&self) -> &Fanouts {
-        &self.fanouts
+        &self.topo.fanouts
+    }
+
+    /// The shared topology snapshot.
+    pub fn topology(&self) -> &Arc<ConeTopology> {
+        &self.topo
     }
 
     /// Forces node `n`'s signature to `forced` and re-simulates its
@@ -65,38 +124,72 @@ impl ConeSimulator {
     /// if `forced.len() != sim.stride()`.
     pub fn output_flips(&mut self, aig: &Aig, sim: &Sim, n: NodeId, forced: &[u64]) -> Vec<Vec<u64>> {
         let stride = sim.stride();
-        assert_eq!(self.n_nodes, aig.n_nodes(), "simulator is stale");
+        assert_eq!(self.topo.n_nodes, aig.n_nodes(), "simulator is stale");
         assert_eq!(forced.len(), stride);
         debug_assert!(self.touched_list.is_empty());
 
-        // Collect the fanout cone and order it topologically.
-        let mut cone: Vec<NodeId> = Vec::new();
+        // Collect the structural fanout cone and order it topologically.
+        let mut cone = std::mem::take(&mut self.cone);
+        cone.clear();
         self.mark(n, forced, stride);
+        self.in_cone[n.index()] = true;
         cone.push(n);
         let mut head = 0;
         while head < cone.len() {
             let m = cone[head];
             head += 1;
-            for &f in self.fanouts.of(m) {
-                if !self.touched[f.index()] {
-                    self.touched[f.index()] = true;
-                    self.touched_list.push(f);
+            for &f in self.topo.fanouts.of(m) {
+                if !self.in_cone[f.index()] {
+                    self.in_cone[f.index()] = true;
                     cone.push(f);
                 }
             }
         }
-        // `n` itself is already final; sort and re-simulate the rest.
-        cone[1..].sort_unstable_by_key(|m| self.topo_pos[m.index()]);
+        let topo_pos = &self.topo.topo_pos;
+        cone[1..].sort_unstable_by_key(|m| topo_pos[m.index()]);
+
+        // Walk the cone in topological order, re-evaluating only nodes
+        // with at least one value-changed fanin and recording a node as
+        // changed (`touched`) only if its recomputed signature actually
+        // differs from the base. Difference masks die out at masking
+        // gates (an AND whose side input is a controlling zero on every
+        // pattern), so downstream work shrinks as changes stop
+        // propagating — with results identical to a full re-simulation.
+        let mut tmp = std::mem::take(&mut self.tmp);
+        tmp.resize(stride, 0);
         for &m in &cone[1..] {
             if let Node::And(a, b) = aig.node(m) {
-                let (an, bn) = (a.node(), b.node());
+                let (an, bn) = (a.node().index(), b.node().index());
+                if !self.touched[an] && !self.touched[bn] {
+                    continue;
+                }
+                let asl: &[u64] = if self.touched[an] {
+                    &self.scratch[an * stride..][..stride]
+                } else {
+                    &sim.sig(a.node())[..stride]
+                };
+                let bsl: &[u64] = if self.touched[bn] {
+                    &self.scratch[bn * stride..][..stride]
+                } else {
+                    &sim.sig(b.node())[..stride]
+                };
+                let na = if a.is_neg() { u64::MAX } else { 0 };
+                let nb = if b.is_neg() { u64::MAX } else { 0 };
+                let base = &sim.sig(m)[..stride];
+                let mut diff = 0u64;
                 for w in 0..stride {
-                    let wa = self.value_word(sim, an, w) ^ if a.is_neg() { u64::MAX } else { 0 };
-                    let wb = self.value_word(sim, bn, w) ^ if b.is_neg() { u64::MAX } else { 0 };
-                    self.scratch[m.index() * stride + w] = wa & wb;
+                    let v = (asl[w] ^ na) & (bsl[w] ^ nb);
+                    tmp[w] = v;
+                    diff |= v ^ base[w];
+                }
+                if diff != 0 {
+                    self.scratch[m.index() * stride..][..stride].copy_from_slice(&tmp);
+                    self.touched[m.index()] = true;
+                    self.touched_list.push(m);
                 }
             }
         }
+        self.tmp = tmp;
 
         // Collect per-output flip masks.
         let mut flips = Vec::with_capacity(aig.n_pos());
@@ -111,10 +204,14 @@ impl ConeSimulator {
             }
         }
 
-        // Reset touch flags for the next call.
+        // Reset flags for the next call.
         for m in self.touched_list.drain(..) {
             self.touched[m.index()] = false;
         }
+        for &m in &cone {
+            self.in_cone[m.index()] = false;
+        }
+        self.cone = cone;
         flips
     }
 
@@ -122,15 +219,6 @@ impl ConeSimulator {
         self.touched[n.index()] = true;
         self.touched_list.push(n);
         self.scratch[n.index() * stride..n.index() * stride + stride].copy_from_slice(forced);
-    }
-
-    #[inline]
-    fn value_word(&self, sim: &Sim, n: NodeId, w: usize) -> u64 {
-        if self.touched[n.index()] {
-            self.scratch[n.index() * sim.stride() + w]
-        } else {
-            sim.sig(n)[w]
-        }
     }
 }
 

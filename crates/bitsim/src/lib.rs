@@ -28,7 +28,7 @@ mod cone;
 mod patterns;
 mod sim;
 
-pub use cone::ConeSimulator;
+pub use cone::{ConeSimulator, ConeTopology};
 pub use patterns::Patterns;
 pub use sim::{simulate, Sim};
 

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 /// A set of input patterns, stored bit-parallel: one signature (a slice of
 /// `u64` words) per primary input, with pattern `p` living in bit `p % 64`

@@ -3,8 +3,8 @@
 
 use aig::Aig;
 use circuitio::{aiger, blif};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 fn same_function(a: &Aig, b: &Aig, samples: usize, seed: u64) {
     assert_eq!(a.n_pis(), b.n_pis());

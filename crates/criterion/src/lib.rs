@@ -1,0 +1,140 @@
+//! A vendored, std-only minimal stand-in for the `criterion` benchmark
+//! harness, so `cargo bench` works with no network access.
+//!
+//! Implements the subset the workspace's benches use: [`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is
+//! simple and honest rather than statistical: a warm-up, then
+//! `sample_size` timed samples, reporting min/median/mean wall time per
+//! iteration via `std::time::Instant`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; only the names are
+/// meaningful here (every batch runs one routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing over enough calls that one sample
+    /// lasts at least a few milliseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the per-sample iteration count.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<40} median {median:>12?}  min {min:>12?}  mean {mean:>12?}  ({} samples)",
+            sorted.len()
+        );
+        self
+    }
+}
+
+/// Collects benchmark functions into a group runner, mirroring
+/// criterion's macro (both the simple and the `name/config/targets`
+/// forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,5 +1,12 @@
 use crate::kinds::MetricKind;
 
+/// Patterns per reduction chunk. The per-pattern reductions (value
+/// decoding, contribution sums) are computed chunk by chunk and folded
+/// in chunk order; this constant is part of the numeric contract — the
+/// floating-point sums are bit-identical at every thread count because
+/// the chunk boundaries and the fold order never depend on scheduling.
+const PAT_CHUNK: usize = 4096;
+
 /// Incremental error evaluator.
 ///
 /// The evaluator is anchored to the golden output signatures. Calling
@@ -25,6 +32,11 @@ pub struct ErrorEval {
     contrib: Vec<f64>,
     cur_sum: f64,
     cur_max: f64,
+    // ER-only per-word union of the output diffs and its popcounts, so
+    // sparse candidate scoring can rescore just the deviating words.
+    er_words: Vec<u64>,
+    er_word_pops: Vec<u32>,
+    er_total: usize,
 }
 
 impl ErrorEval {
@@ -75,6 +87,9 @@ impl ErrorEval {
             cur_max: 0.0,
             golden: golden.iter().map(|s| s[..stride].to_vec()).collect(),
             golden_vals,
+            er_words: Vec::new(),
+            er_word_pops: Vec::new(),
+            er_total: 0,
         };
         eval.recompute_contributions();
         eval
@@ -121,26 +136,76 @@ impl ErrorEval {
 
     fn recompute_contributions(&mut self) {
         if !self.kind.is_arithmetic() {
+            self.refresh_er_pops();
             return;
         }
+        let pool = parkit::global();
+        let kind = self.kind;
+        let (cur_vals, golden_vals) = (&self.cur_vals, &self.golden_vals);
+        let mut contrib = std::mem::take(&mut self.contrib);
+        pool.par_chunks_mut(&mut contrib, PAT_CHUNK, |c, slice| {
+            let base = c * PAT_CHUNK;
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = pattern_contrib(kind, cur_vals[base + i], golden_vals[base + i]);
+            }
+        });
+        self.contrib = contrib;
+        // Canonical chunked fold: per-chunk sums arrive in chunk order
+        // and are folded serially, so the result does not depend on the
+        // thread count (see `PAT_CHUNK`).
+        let contrib = &self.contrib;
+        let partials = pool.par_chunk_results(self.n_patterns, PAT_CHUNK, |_, r| {
+            let (mut sum, mut max) = (0.0f64, 0.0f64);
+            for c in &contrib[r] {
+                sum += c;
+                max = max.max(*c);
+            }
+            (sum, max)
+        });
         self.cur_sum = 0.0;
         self.cur_max = 0.0;
-        for p in 0..self.n_patterns {
-            let c = self.pattern_contrib(self.cur_vals[p], self.golden_vals[p]);
-            self.contrib[p] = c;
-            self.cur_sum += c;
-            self.cur_max = self.cur_max.max(c);
+        for (s, m) in partials {
+            self.cur_sum += s;
+            self.cur_max = self.cur_max.max(m);
         }
     }
 
-    fn pattern_contrib(&self, approx: u128, golden: u128) -> f64 {
-        let ed = approx.abs_diff(golden) as f64;
-        match self.kind {
-            MetricKind::Er => 0.0,
-            MetricKind::Med | MetricKind::Nmed | MetricKind::Wce => ed,
-            MetricKind::Mred => ed / (golden.max(1) as f64),
-            MetricKind::Mse => ed * ed,
+    /// Recomputes the ER per-word popcounts of the union diff (the words
+    /// a sparse [`ErrorEval::with_flips_words`] call leaves untouched).
+    fn refresh_er_pops(&mut self) {
+        if self.kind != MetricKind::Er {
+            return;
         }
+        let diff = &self.diff;
+        let n_outputs = self.n_outputs;
+        let mut words = std::mem::take(&mut self.er_words);
+        words.clear();
+        words.resize(self.stride, 0);
+        let mut pops = std::mem::take(&mut self.er_word_pops);
+        pops.clear();
+        pops.resize(self.stride, 0);
+        let masks: Vec<u64> = (0..self.stride).map(|w| self.word_mask(w)).collect();
+        parkit::global().par_chunks_mut(&mut words, 1024, |c, slice| {
+            let base = c * 1024;
+            for (i, slot) in slice.iter_mut().enumerate() {
+                let w = base + i;
+                let mut acc = 0u64;
+                for o in 0..n_outputs {
+                    acc |= diff[o][w];
+                }
+                *slot = acc;
+            }
+        });
+        for (w, slot) in pops.iter_mut().enumerate() {
+            *slot = (words[w] & masks[w]).count_ones();
+        }
+        self.er_total = pops.iter().map(|&p| p as usize).sum();
+        self.er_words = words;
+        self.er_word_pops = pops;
+    }
+
+    fn pattern_contrib(&self, approx: u128, golden: u128) -> f64 {
+        pattern_contrib(self.kind, approx, golden)
     }
 
     fn finalize(&self, sum: f64, max: f64) -> f64 {
@@ -156,17 +221,7 @@ impl ErrorEval {
     /// The error of the current approximate circuit.
     pub fn current(&self) -> f64 {
         match self.kind {
-            MetricKind::Er => {
-                let mut count = 0usize;
-                for w in 0..self.stride {
-                    let mut acc = 0u64;
-                    for o in 0..self.n_outputs {
-                        acc |= self.diff[o][w];
-                    }
-                    count += (acc & self.word_mask(w)).count_ones() as usize;
-                }
-                count as f64 / self.n_patterns as f64
-            }
+            MetricKind::Er => self.er_total as f64 / self.n_patterns as f64,
             _ => self.finalize(self.cur_sum, self.cur_max),
         }
     }
@@ -224,6 +279,161 @@ impl ErrorEval {
         }
     }
 
+    /// Like [`ErrorEval::with_flips`], but `flips` is known to be zero
+    /// outside the given ascending word list — the caller passes the
+    /// words where the candidate's deviation mask is non-zero, and only
+    /// those words are rescored. Returns a bit-identical result to the
+    /// dense call: integer popcounts are order-free, and the arithmetic
+    /// metrics visit the same flipped patterns in the same ascending
+    /// order as the dense loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flips` has the wrong shape. Words outside the list
+    /// holding non-zero flips produce an unspecified (not undefined)
+    /// result.
+    pub fn with_flips_words(&self, words: &[u32], flips: &[Vec<u64>]) -> f64 {
+        assert_eq!(flips.len(), self.n_outputs, "output count mismatch");
+        debug_assert!(words.windows(2).all(|p| p[0] < p[1]), "words must ascend");
+        match self.kind {
+            MetricKind::Er => {
+                let mut count = self.er_total as i64;
+                for &w in words {
+                    let w = w as usize;
+                    let mut acc = 0u64;
+                    for o in 0..self.n_outputs {
+                        acc |= self.diff[o][w] ^ flips[o][w];
+                    }
+                    count += (acc & self.word_mask(w)).count_ones() as i64
+                        - self.er_word_pops[w] as i64;
+                }
+                count as f64 / self.n_patterns as f64
+            }
+            MetricKind::Wce => {
+                // Rescore the flipped patterns; the unflipped maximum is
+                // `cur_max` unless a flipped pattern carried it.
+                let mut flipped: Vec<(usize, f64)> = Vec::new();
+                let mut new_max = 0.0f64;
+                let mut max_flipped = false;
+                for &w in words {
+                    let w = w as usize;
+                    let mut union = 0u64;
+                    for f in flips {
+                        union |= f[w];
+                    }
+                    union &= self.word_mask(w);
+                    while union != 0 {
+                        let b = union.trailing_zeros() as usize;
+                        union &= union - 1;
+                        let p = w * 64 + b;
+                        let val = self.cur_vals[p] ^ self.toggle_bits(flips, p);
+                        let c = self.pattern_contrib(val, self.golden_vals[p]);
+                        max_flipped |= self.contrib[p] == self.cur_max;
+                        new_max = new_max.max(c);
+                        flipped.push((p, c));
+                    }
+                }
+                if !max_flipped {
+                    return self.finalize(0.0, self.cur_max.max(new_max));
+                }
+                // The max-carrying pattern itself flipped: merge-scan all
+                // patterns, taking the rescored value where flipped.
+                let mut it = flipped.iter().peekable();
+                let mut max = 0.0f64;
+                for p in 0..self.n_patterns {
+                    let c = match it.peek() {
+                        Some(&&(fp, fc)) if fp == p => {
+                            it.next();
+                            fc
+                        }
+                        _ => self.contrib[p],
+                    };
+                    max = max.max(c);
+                }
+                self.finalize(0.0, max)
+            }
+            _ => {
+                let mut sum = self.cur_sum;
+                for &w in words {
+                    let w = w as usize;
+                    let mut union = 0u64;
+                    for f in flips {
+                        union |= f[w];
+                    }
+                    union &= self.word_mask(w);
+                    while union != 0 {
+                        let b = union.trailing_zeros() as usize;
+                        union &= union - 1;
+                        let p = w * 64 + b;
+                        let val = self.cur_vals[p] ^ self.toggle_bits(flips, p);
+                        sum += self.pattern_contrib(val, self.golden_vals[p]) - self.contrib[p];
+                    }
+                }
+                self.finalize(sum, 0.0)
+            }
+        }
+    }
+
+    /// ER only: the per-word union diff the circuit would have if *every*
+    /// pattern deviated, i.e. `OR_o (diff_o ^ mask_o)` where `mask_o` is
+    /// the transfer mask of the listed output `o` (outputs not listed keep
+    /// a zero mask). `rows[k * stride..][..stride]` is the mask row of
+    /// `outs[k]`; rows and `outs` ascend.
+    ///
+    /// Together with [`ErrorEval::er_with_deviation`] this factors the
+    /// candidate scoring loop: per pattern the new error indicator is a
+    /// two-way select between the current union diff (deviation bit 0)
+    /// and this precomputed union (deviation bit 1), so the per-output
+    /// loop runs once per *target node* instead of once per candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-ER evaluator or with misshapen rows.
+    pub fn er_conditional_union(&self, outs: &[u32], rows: &[u64], e1: &mut Vec<u64>) {
+        assert_eq!(self.kind, MetricKind::Er, "ER-only precomputation");
+        assert_eq!(rows.len(), outs.len() * self.stride, "mask row shape");
+        e1.clear();
+        e1.resize(self.stride, 0);
+        let mut k = 0;
+        for (o, d) in self.diff.iter().enumerate() {
+            if k < outs.len() && outs[k] as usize == o {
+                let row = &rows[k * self.stride..][..self.stride];
+                for (slot, (&dw, &mw)) in e1.iter_mut().zip(d.iter().zip(row)) {
+                    *slot |= dw ^ mw;
+                }
+                k += 1;
+            } else {
+                for (slot, &dw) in e1.iter_mut().zip(d.iter()) {
+                    *slot |= dw;
+                }
+            }
+        }
+    }
+
+    /// ER only: the error rate if the candidate's deviation mask `dev`
+    /// were applied through the transfer masks baked into `e1` (from
+    /// [`ErrorEval::er_conditional_union`]). `words` lists the words
+    /// where `dev` is non-zero, ascending. Bit-identical to the
+    /// equivalent [`ErrorEval::with_flips`] call: per pattern the union
+    /// diff is selected between the current one and `e1`, and the
+    /// popcount accumulation visits the same words in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-ER evaluator.
+    pub fn er_with_deviation(&self, words: &[u32], dev: &[u64], e1: &[u64]) -> f64 {
+        assert_eq!(self.kind, MetricKind::Er, "ER-only scoring");
+        debug_assert!(words.windows(2).all(|p| p[0] < p[1]), "words must ascend");
+        let mut count = self.er_total as i64;
+        for &w in words {
+            let w = w as usize;
+            let d = dev[w];
+            let acc = (self.er_words[w] & !d) | (e1[w] & d);
+            count += (acc & self.word_mask(w)).count_ones() as i64 - self.er_word_pops[w] as i64;
+        }
+        count as f64 / self.n_patterns as f64
+    }
+
     fn toggle_bits(&self, flips: &[Vec<u64>], p: usize) -> u128 {
         let (w, b) = (p / 64, p % 64);
         let mut toggle = 0u128;
@@ -246,16 +456,32 @@ impl ErrorEval {
     }
 }
 
-/// Decodes per-pattern output values (output 0 = LSB).
+fn pattern_contrib(kind: MetricKind, approx: u128, golden: u128) -> f64 {
+    let ed = approx.abs_diff(golden) as f64;
+    match kind {
+        MetricKind::Er => 0.0,
+        MetricKind::Med | MetricKind::Nmed | MetricKind::Wce => ed,
+        MetricKind::Mred => ed / (golden.max(1) as f64),
+        MetricKind::Mse => ed * ed,
+    }
+}
+
+/// Decodes per-pattern output values (output 0 = LSB). Each pattern's
+/// value is written into its own slot, so the parallel chunking cannot
+/// change the result.
 fn decode_values(sigs: &[Vec<u64>], n_patterns: usize) -> Vec<u128> {
     let mut vals = vec![0u128; n_patterns];
-    for (o, sig) in sigs.iter().enumerate() {
-        for (p, val) in vals.iter_mut().enumerate() {
-            if sig[p / 64] >> (p % 64) & 1 == 1 {
-                *val |= 1 << o;
+    parkit::global().par_chunks_mut(&mut vals, PAT_CHUNK, |c, slice| {
+        let base = c * PAT_CHUNK;
+        for (o, sig) in sigs.iter().enumerate() {
+            for (i, val) in slice.iter_mut().enumerate() {
+                let p = base + i;
+                if sig[p / 64] >> (p % 64) & 1 == 1 {
+                    *val |= 1 << o;
+                }
             }
         }
-    }
+    });
     vals
 }
 

@@ -1,0 +1,329 @@
+//! Cross-round caching of flip-transfer masks.
+//!
+//! A node's transfer masks `M(n, o)` are per-pattern Boolean differences
+//! of the fanout-cone function with respect to `n`: bit `p` of `M(n, o)`
+//! is `F_o(0, sides_p) ^ F_o(1, sides_p)`. That makes them invariant to
+//! `n`'s *own* simulated value — they change only when
+//!
+//! 1. the cone's structure changes (a node in `TFO(n)` gained, lost, or
+//!    rewired a fanin, or a fanout edge inside the cone disappeared), or
+//! 2. a *side input* of the cone (a fanin of a cone member outside the
+//!    cone) changed its simulated value, or
+//! 3. the output-driver mapping changed.
+//!
+//! [`MaskCache::roll`] diffs the new circuit revision against a snapshot
+//! of the previous one (through the node remapping that
+//! [`aig::Aig::cleanup`] returns), marks the dirty frontier — nodes with
+//! structural changes, sources of removed fanout edges, and fanouts of
+//! value-changed nodes — and invalidates exactly the transitive fanin
+//! cone of that frontier: a node's masks survive iff its TFO provably
+//! contains no change. Condition 3 triggers a full flush (output drivers
+//! rarely move). Carried masks are bit-identical to recomputation, so
+//! cached and from-scratch estimation agree exactly; polarity flips in
+//! the remapping are harmless because Boolean-difference masks are
+//! polarity independent.
+
+use aig::{Aig, Fanouts, Lit, Node, NodeId};
+use bitsim::Sim;
+
+/// Cached transfer masks for one node.
+#[derive(Debug, Clone)]
+pub struct MaskEntry {
+    /// Ascending indices of the outputs this node can influence.
+    pub outs: Box<[u32]>,
+    /// One `stride`-word flip mask per entry of `outs`, concatenated.
+    pub masks: Box<[u64]>,
+}
+
+/// Counters describing cache behaviour, for benches and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls to [`MaskCache::roll`].
+    pub rounds: usize,
+    /// Rolls that discarded every entry (no remap, shape change, or
+    /// output-driver change).
+    pub flushes: usize,
+    /// Entries carried across a roll.
+    pub carried: usize,
+    /// Mask lookups served from the cache.
+    pub hits: usize,
+    /// Mask lookups that required a cone resimulation.
+    pub misses: usize,
+}
+
+/// Cross-round store of [`MaskEntry`] values, keyed by node id of the
+/// circuit revision it was last [`MaskCache::roll`]ed to.
+#[derive(Debug, Default)]
+pub struct MaskCache {
+    stride: usize,
+    n_patterns: usize,
+    generation: u64,
+    entries: Vec<Option<MaskEntry>>,
+    // Snapshot of the revision `entries` belongs to.
+    snap_nodes: Vec<Node>,
+    snap_out_lits: Vec<Lit>,
+    snap_sigs: Vec<u64>,
+    stats: CacheStats,
+}
+
+/// The image of an old-revision literal under the cleanup remapping.
+fn image(remap: &[Option<Lit>], l: Lit) -> Option<Lit> {
+    remap.get(l.node().index()).copied().flatten().map(|r| {
+        Lit::new(r.node(), r.is_neg() ^ l.is_neg())
+    })
+}
+
+impl MaskCache {
+    /// An empty cache; the first [`MaskCache::roll`] sizes it.
+    pub fn new() -> Self {
+        MaskCache::default()
+    }
+
+    /// Monotone revision counter, bumped once per [`MaskCache::roll`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Behaviour counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Rolls the cache forward to the circuit revision `(aig, sim)`.
+    ///
+    /// `remap` maps node ids of the previous revision — including nodes
+    /// appended by LAC application before `cleanup()` — to literals of
+    /// `aig`, exactly as returned by [`aig::Aig::cleanup`]; `None` means
+    /// the node was deleted. Passing `remap = None` (first round, or an
+    /// unknown edit) flushes every entry. `fanouts` must be built for
+    /// `aig`.
+    pub fn roll(
+        &mut self,
+        aig: &Aig,
+        sim: &Sim,
+        fanouts: &Fanouts,
+        remap: Option<&[Option<Lit>]>,
+    ) {
+        self.generation += 1;
+        self.stats.rounds += 1;
+        let n_new = aig.n_nodes();
+        let stride = sim.stride();
+
+        let carried = if self.snap_nodes.is_empty()
+            || stride != self.stride
+            || sim.n_patterns() != self.n_patterns
+        {
+            None
+        } else {
+            remap.and_then(|r| self.carry_entries(aig, sim, fanouts, r))
+        };
+        self.entries = match carried {
+            Some(entries) => entries,
+            None => {
+                if self.entries.iter().any(Option::is_some) {
+                    self.stats.flushes += 1;
+                }
+                vec![None; n_new]
+            }
+        };
+
+        // Snapshot this revision for the next roll.
+        self.stride = stride;
+        self.n_patterns = sim.n_patterns();
+        self.snap_nodes = (0..n_new).map(|i| *aig.node(NodeId::new(i))).collect();
+        self.snap_out_lits = aig.outputs().iter().map(|o| o.lit).collect();
+        self.snap_sigs.clear();
+        self.snap_sigs.reserve(n_new * stride);
+        for i in 0..n_new {
+            self.snap_sigs.extend_from_slice(sim.sig(NodeId::new(i)));
+        }
+    }
+
+    /// Computes the surviving entry table, or `None` to flush.
+    fn carry_entries(
+        &mut self,
+        aig: &Aig,
+        sim: &Sim,
+        fanouts: &Fanouts,
+        remap: &[Option<Lit>],
+    ) -> Option<Vec<Option<MaskEntry>>> {
+        let n_new = aig.n_nodes();
+        // Condition 3: any change to the output-driver mapping flushes.
+        if aig.n_pos() != self.snap_out_lits.len() {
+            return None;
+        }
+        for (out, &old) in aig.outputs().iter().zip(&self.snap_out_lits) {
+            if image(remap, old) != Some(out.lit) {
+                return None;
+            }
+        }
+
+        // Preimages of each new node; strash collisions drop both.
+        let mut pre: Vec<Option<(u32, bool)>> = vec![None; n_new];
+        let mut collide = vec![false; n_new];
+        for (p, r) in remap.iter().enumerate() {
+            if let Some(l) = r {
+                let m = l.node().index();
+                if pre[m].is_some() {
+                    collide[m] = true;
+                } else {
+                    pre[m] = Some((p as u32, l.is_neg()));
+                }
+            }
+        }
+
+        let mut marked = vec![false; n_new];
+        // A dead, collided, or rewired old node removes fanout edges;
+        // the surviving sources of those edges lose part of their cone.
+        let mut lost_sources: Vec<NodeId> = Vec::new();
+        let mark_old_fanins = |p: usize, lost: &mut Vec<NodeId>| {
+            if let Some(Node::And(a, b)) = self.snap_nodes.get(p) {
+                for l in [*a, *b] {
+                    if let Some(img) = image(remap, l) {
+                        lost.push(img.node());
+                    }
+                }
+            }
+        };
+        for (p, r) in remap.iter().enumerate() {
+            match r {
+                None => mark_old_fanins(p, &mut lost_sources),
+                Some(l) if collide[l.node().index()] => mark_old_fanins(p, &mut lost_sources),
+                Some(_) => {}
+            }
+        }
+
+        for m in 0..n_new {
+            let id = NodeId::new(m);
+            let clean_struct = match pre[m] {
+                Some((p, _)) if !collide[m] => self
+                    .snap_nodes
+                    .get(p as usize)
+                    .is_some_and(|old| struct_eq(aig.node(id), old, remap)),
+                _ => false,
+            };
+            if !clean_struct {
+                // Condition 1: new or rewired node; its old fanout edges
+                // (if any) are gone too.
+                marked[m] = true;
+                if let Some((p, _)) = pre[m] {
+                    mark_old_fanins(p as usize, &mut lost_sources);
+                }
+                continue;
+            }
+            let (p, neg) = pre[m].expect("clean nodes have a preimage");
+            if !self.sig_matches(sim, id, p as usize, neg) {
+                // Condition 2: a value change contaminates every cone
+                // that reads this node — i.e. its fanouts' cones. The
+                // node's own masks are value independent and survive.
+                for &f in fanouts.of(id) {
+                    marked[f.index()] = true;
+                }
+            }
+        }
+        for id in lost_sources {
+            marked[id.index()] = true;
+        }
+
+        // Invalid = transitive fanin (inclusive) of the marked frontier:
+        // exactly the nodes whose TFO intersects a change.
+        let mut invalid = marked;
+        let mut stack: Vec<NodeId> = invalid
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(|(i, _)| NodeId::new(i))
+            .collect();
+        while let Some(m) = stack.pop() {
+            if let Node::And(a, b) = aig.node(m) {
+                for l in [*a, *b] {
+                    let f = l.node();
+                    if !invalid[f.index()] {
+                        invalid[f.index()] = true;
+                        stack.push(f);
+                    }
+                }
+            }
+        }
+
+        let mut old_entries = std::mem::take(&mut self.entries);
+        let mut out: Vec<Option<MaskEntry>> = vec![None; n_new];
+        let mut carried = 0usize;
+        for (m, slot) in out.iter_mut().enumerate() {
+            if invalid[m] {
+                continue;
+            }
+            if let Some((p, _)) = pre[m] {
+                if let Some(e) = old_entries.get_mut(p as usize).and_then(Option::take) {
+                    *slot = Some(e);
+                    carried += 1;
+                }
+            }
+        }
+        self.stats.carried += carried;
+        Some(out)
+    }
+
+    fn sig_matches(&self, sim: &Sim, m: NodeId, p: usize, neg: bool) -> bool {
+        let new = sim.sig(m);
+        let old = &self.snap_sigs[p * self.stride..(p + 1) * self.stride];
+        for w in 0..self.stride {
+            let ow = if neg { !old[w] } else { old[w] };
+            if (new[w] ^ ow) & word_mask(self.n_patterns, w) != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Ensures the entry table covers `aig` at the given sample shape,
+    /// without diffing (used by cache-less estimators for scratch
+    /// storage within a single round).
+    pub(crate) fn reset_for(&mut self, aig: &Aig, sim: &Sim) {
+        self.stride = sim.stride();
+        self.n_patterns = sim.n_patterns();
+        self.entries.clear();
+        self.entries.resize(aig.n_nodes(), None);
+    }
+
+    pub(crate) fn get(&self, n: NodeId) -> Option<&MaskEntry> {
+        self.entries.get(n.index()).and_then(Option::as_ref)
+    }
+
+    pub(crate) fn insert(&mut self, n: NodeId, e: MaskEntry) {
+        self.entries[n.index()] = Some(e);
+    }
+
+    pub(crate) fn note_lookups(&mut self, hits: usize, misses: usize) {
+        self.stats.hits += hits;
+        self.stats.misses += misses;
+    }
+}
+
+/// Structural equality of a new node against its old preimage, with the
+/// old fanins carried through the remapping (unordered, since strash may
+/// normalize fanin order).
+fn struct_eq(new: &Node, old: &Node, remap: &[Option<Lit>]) -> bool {
+    match (new, old) {
+        (Node::Const0, Node::Const0) => true,
+        (Node::Input(a), Node::Input(b)) => a == b,
+        (Node::And(a, b), Node::And(oa, ob)) => {
+            let (Some(ia), Some(ib)) = (image(remap, *oa), image(remap, *ob)) else {
+                return false;
+            };
+            (ia == *a && ib == *b) || (ia == *b && ib == *a)
+        }
+        _ => false,
+    }
+}
+
+fn word_mask(n_patterns: usize, w: usize) -> u64 {
+    let rem = n_patterns.saturating_sub(w * 64);
+    if rem >= 64 {
+        u64::MAX
+    } else if rem == 0 {
+        0
+    } else {
+        (1u64 << rem) - 1
+    }
+}

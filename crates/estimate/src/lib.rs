@@ -21,12 +21,53 @@
 //! several LACs applied together (its Eq. (1)). The property tests check
 //! this exactness against [`exact_on_sample`], the slow
 //! clone-apply-resimulate reference.
+//!
+//! Both phases run on a [`parkit::ThreadPool`]: mask construction is
+//! parallel over target nodes (each worker chunk owns a private
+//! [`ConeSimulator`] over a shared [`ConeTopology`]), and scoring is
+//! parallel over candidates. Per-candidate work touches only the words
+//! where the deviation mask is nonzero, via
+//! [`errmetrics::ErrorEval::with_flips_words`]. Every per-candidate
+//! value is computed independently and written to its input slot, so
+//! results are bit-identical at any thread count. Transfer masks can be
+//! reused across synthesis rounds through a [`MaskCache`] — see
+//! [`BatchEstimator::with_cache`].
 
-use aig::{cone, Aig, Fanouts, NodeId};
-use bitsim::{simulate, ConeSimulator, Patterns, Sim};
+mod cache;
+
+pub use cache::{CacheStats, MaskCache, MaskEntry};
+
+use aig::{cone, Aig, Lit, NodeId};
+use bitsim::{simulate, ConeSimulator, ConeTopology, Patterns, Sim};
 use errmetrics::{error, ErrorEval, MetricKind};
 use lac::{Lac, ScoredLac};
+use parkit::ThreadPool;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Mask storage: either private per-round scratch or a caller-owned
+/// cross-round cache.
+#[derive(Debug)]
+enum CacheSlot<'a> {
+    Owned(MaskCache),
+    External(&'a mut MaskCache),
+}
+
+impl CacheSlot<'_> {
+    fn get(&self) -> &MaskCache {
+        match self {
+            CacheSlot::Owned(c) => c,
+            CacheSlot::External(c) => c,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut MaskCache {
+        match self {
+            CacheSlot::Owned(c) => c,
+            CacheSlot::External(c) => c,
+        }
+    }
+}
 
 /// Batch scorer for candidate LACs against one circuit snapshot.
 ///
@@ -37,7 +78,9 @@ pub struct BatchEstimator<'a> {
     aig: &'a Aig,
     sim: &'a Sim,
     eval: &'a ErrorEval,
-    cone_sim: ConeSimulator,
+    topo: Arc<ConeTopology>,
+    pool: &'static ThreadPool,
+    cache: CacheSlot<'a>,
     current_error: f64,
 }
 
@@ -45,20 +88,59 @@ impl<'a> BatchEstimator<'a> {
     /// Creates an estimator for the circuit snapshot `(aig, sim, eval)`.
     ///
     /// `eval` must be anchored at the golden signatures and rebased at
-    /// `aig`'s current output signatures under `sim`.
+    /// `aig`'s current output signatures under `sim`. Transfer masks are
+    /// discarded when the estimator is dropped; use
+    /// [`BatchEstimator::with_cache`] to keep them across rounds.
     ///
     /// # Panics
     ///
     /// Panics if `sim` does not match `aig`.
     pub fn new(aig: &'a Aig, sim: &'a Sim, eval: &'a ErrorEval) -> Self {
+        let mut scratch = MaskCache::new();
+        scratch.reset_for(aig, sim);
+        Self::build(aig, sim, eval, CacheSlot::Owned(scratch))
+    }
+
+    /// Creates an estimator whose transfer masks live in `cache`,
+    /// surviving across rounds.
+    ///
+    /// The cache is first rolled forward to this circuit revision:
+    /// `remap` is the node remapping from the revision the cache last
+    /// saw to `aig` (as returned by [`Aig::cleanup`] after applying the
+    /// round's LACs), or `None` to start from scratch. Only masks whose
+    /// fanout cone provably saw no change survive the roll, so cached
+    /// scoring is bit-identical to [`BatchEstimator::new`].
+    pub fn with_cache(
+        aig: &'a Aig,
+        sim: &'a Sim,
+        eval: &'a ErrorEval,
+        cache: &'a mut MaskCache,
+        remap: Option<&[Option<Lit>]>,
+    ) -> Self {
+        let mut est = Self::build(aig, sim, eval, CacheSlot::External(cache));
+        let topo = Arc::clone(&est.topo);
+        est.cache.get_mut().roll(aig, sim, topo.fanouts(), remap);
+        est
+    }
+
+    fn build(aig: &'a Aig, sim: &'a Sim, eval: &'a ErrorEval, cache: CacheSlot<'a>) -> Self {
         assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
         BatchEstimator {
             aig,
             sim,
             eval,
-            cone_sim: ConeSimulator::new(aig, sim.stride()),
+            topo: ConeTopology::build(aig),
+            pool: parkit::global(),
+            cache,
             current_error: eval.current(),
         }
+    }
+
+    /// Replaces the thread pool (default: [`parkit::global`]). Used by
+    /// determinism tests to pin an exact thread count.
+    pub fn use_pool(mut self, pool: &'static ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The error of the current circuit (the baseline for `ΔE`).
@@ -68,53 +150,171 @@ impl<'a> BatchEstimator<'a> {
 
     /// Scores every candidate: estimated error increase `ΔE` plus the
     /// area gain (MFFC size minus new-function cost). Results are in
-    /// input order.
+    /// input order and bit-identical at any thread count.
     pub fn score_all(&mut self, cands: &[Lac]) -> Vec<ScoredLac> {
+        if cands.is_empty() {
+            return Vec::new();
+        }
         let stride = self.sim.stride();
         let n_outputs = self.aig.n_pos();
-        // Group candidate indices by target node so each node's transfer
-        // masks are computed once.
-        let mut by_tn: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, l) in cands.iter().enumerate() {
-            by_tn.entry(l.tn).or_default().push(i);
-        }
-        let mut order: Vec<NodeId> = by_tn.keys().copied().collect();
-        order.sort_unstable();
+        let pool = self.pool;
+        let (aig, sim, eval) = (self.aig, self.sim, self.eval);
+        let current = self.current_error;
 
-        let fanouts = Fanouts::build(self.aig);
-        let mut results: Vec<Option<ScoredLac>> = vec![None; cands.len()];
-        let mut dev = vec![0u64; stride];
-        let mut cand_sig = vec![0u64; stride];
-        let mut flips = vec![vec![0u64; stride]; n_outputs];
+        // Distinct target nodes, ascending; each candidate indexes in.
+        let mut targets: Vec<NodeId> = cands.iter().map(|l| l.tn).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let slot_of: HashMap<NodeId, u32> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &tn)| (tn, i as u32))
+            .collect();
 
-        for tn in order {
-            let forced: Vec<u64> = self.sim.sig(tn).iter().map(|w| !w).collect();
-            let masks = self.cone_sim.output_flips(self.aig, self.sim, tn, &forced);
-            let mffc = cone::mffc_size(self.aig, &fanouts, tn) as i64;
-            for &ci in &by_tn[&tn] {
-                let lac = &cands[ci];
-                lac.signature_into(self.sim, &mut cand_sig);
-                let base = self.sim.sig(tn);
-                for w in 0..stride {
-                    dev[w] = base[w] ^ cand_sig[w];
-                }
-                for (o, flip) in flips.iter_mut().enumerate() {
-                    for w in 0..stride {
-                        flip[w] = dev[w] & masks[o][w];
-                    }
-                }
-                let e_new = self.eval.with_flips(&flips);
-                results[ci] = Some(ScoredLac {
-                    lac: *lac,
-                    delta_e: e_new - self.current_error,
-                    gain: mffc - lac.new_node_cost() as i64,
+        let topo = &self.topo;
+        let mffcs: Vec<i64> =
+            pool.par_map_collect(&targets, |_, &tn| cone::mffc_size(aig, topo.fanouts(), tn) as i64);
+
+        // Phase 1: compute transfer masks missing from the cache, in
+        // parallel over target nodes. Each chunk owns a private cone
+        // simulator; the per-node result is independent of chunking.
+        let missing: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|&tn| self.cache.get().get(tn).is_none())
+            .collect();
+        self.cache
+            .get_mut()
+            .note_lookups(targets.len() - missing.len(), missing.len());
+        if !missing.is_empty() {
+            let chunk = missing.len().div_ceil(pool.threads() * 2).max(1);
+            let computed: Vec<Vec<MaskEntry>> =
+                pool.par_chunk_results(missing.len(), chunk, |_, range| {
+                    let mut cs = ConeSimulator::with_topology(Arc::clone(topo), stride);
+                    range
+                        .map(|k| {
+                            let tn = missing[k];
+                            let forced: Vec<u64> = sim.sig(tn).iter().map(|w| !w).collect();
+                            build_entry(&cs.output_flips(aig, sim, tn, &forced), stride)
+                        })
+                        .collect()
                 });
+            let store = self.cache.get_mut();
+            let mut tns = missing.iter();
+            for batch in computed {
+                for e in batch {
+                    store.insert(*tns.next().expect("one entry per missing target"), e);
+                }
             }
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every candidate scored"))
-            .collect()
+
+        let store = self.cache.get();
+        let chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
+
+        // ER factors further: per target, precompute the union diff the
+        // circuit would have if every pattern deviated (the transfer
+        // masks folded into the current diffs once). Scoring a candidate
+        // is then a two-way select per deviating word — no per-output
+        // loop and no flip materialization at all.
+        if eval.kind() == MetricKind::Er {
+            let e1s: Vec<Vec<u64>> = pool.par_map_collect(&targets, |_, &tn| {
+                let entry = store.get(tn).expect("mask entry was just built");
+                let mut e1 = Vec::new();
+                eval.er_conditional_union(&entry.outs, &entry.masks, &mut e1);
+                e1
+            });
+            let scored: Vec<Vec<ScoredLac>> =
+                pool.par_chunk_results(cands.len(), chunk, |_, range| {
+                    let mut cand_sig = vec![0u64; stride];
+                    let mut words: Vec<u32> = Vec::new();
+                    let mut out = Vec::with_capacity(range.len());
+                    for ci in range {
+                        let lac = &cands[ci];
+                        let slot = slot_of[&lac.tn] as usize;
+                        lac.signature_into(sim, &mut cand_sig);
+                        let base = sim.sig(lac.tn);
+                        words.clear();
+                        for (w, d) in cand_sig.iter_mut().enumerate() {
+                            *d ^= base[w]; // deviation mask, reusing the buffer
+                            if *d != 0 {
+                                words.push(w as u32);
+                            }
+                        }
+                        let e_new = eval.er_with_deviation(&words, &cand_sig, &e1s[slot]);
+                        out.push(ScoredLac {
+                            lac: *lac,
+                            delta_e: e_new - current,
+                            gain: mffcs[slot] - lac.new_node_cost() as i64,
+                        });
+                    }
+                    out
+                });
+            return scored.into_iter().flatten().collect();
+        }
+
+        // Phase 2 (general metrics): score candidates in parallel. Only
+        // deviation words are touched: flip rows are written sparsely,
+        // evaluated via the word-sparse path, and re-zeroed, so the
+        // per-chunk scratch stays clean between candidates.
+        let scored: Vec<Vec<ScoredLac>> = pool.par_chunk_results(cands.len(), chunk, |_, range| {
+            let mut cand_sig = vec![0u64; stride];
+            let mut flips = vec![vec![0u64; stride]; n_outputs];
+            let mut words: Vec<u32> = Vec::new();
+            let mut out = Vec::with_capacity(range.len());
+            for ci in range {
+                let lac = &cands[ci];
+                let entry = store.get(lac.tn).expect("mask entry was just built");
+                lac.signature_into(sim, &mut cand_sig);
+                let base = sim.sig(lac.tn);
+                words.clear();
+                for (w, d) in cand_sig.iter_mut().enumerate() {
+                    *d ^= base[w]; // deviation mask, reusing the buffer
+                    if *d != 0 {
+                        words.push(w as u32);
+                    }
+                }
+                for (k, &o) in entry.outs.iter().enumerate() {
+                    let row = &entry.masks[k * stride..(k + 1) * stride];
+                    let fl = &mut flips[o as usize];
+                    for &w in &words {
+                        fl[w as usize] = cand_sig[w as usize] & row[w as usize];
+                    }
+                }
+                let e_new = eval.with_flips_words(&words, &flips);
+                for &o in entry.outs.iter() {
+                    let fl = &mut flips[o as usize];
+                    for &w in &words {
+                        fl[w as usize] = 0;
+                    }
+                }
+                out.push(ScoredLac {
+                    lac: *lac,
+                    delta_e: e_new - current,
+                    gain: mffcs[slot_of[&lac.tn] as usize] - lac.new_node_cost() as i64,
+                });
+            }
+            out
+        });
+        scored.into_iter().flatten().collect()
+    }
+}
+
+/// Packs per-output flip rows into a [`MaskEntry`], keeping only the
+/// outputs the node can actually influence.
+fn build_entry(rows: &[Vec<u64>], stride: usize) -> MaskEntry {
+    let outs: Vec<u32> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| row.iter().any(|&w| w != 0))
+        .map(|(o, _)| o as u32)
+        .collect();
+    let mut masks = Vec::with_capacity(outs.len() * stride);
+    for &o in &outs {
+        masks.extend_from_slice(&rows[o as usize]);
+    }
+    MaskEntry {
+        outs: outs.into_boxed_slice(),
+        masks: masks.into_boxed_slice(),
     }
 }
 
@@ -221,5 +421,62 @@ mod tests {
         // Removing the top gate frees both gates; removing ab frees one.
         assert_eq!(scored[0].gain, 2);
         assert_eq!(scored[1].gain, 1);
+    }
+
+    #[test]
+    fn cached_scores_match_fresh_after_a_round() {
+        // Score, apply the best safe LAC, clean up, then score the new
+        // circuit twice: once through the rolled cache and once from
+        // scratch. The lists must be bit-identical and the cache must
+        // actually carry entries forward.
+        let g0 = benchgen::adders::rca(8);
+        let pats = Patterns::random(16, 256, 7);
+        let sim0 = simulate(&g0, &pats);
+        let golden = sim0.output_sigs(&g0);
+        let mut eval = ErrorEval::new(MetricKind::Er, &golden, pats.n_patterns());
+        eval.rebase(&golden);
+
+        let mut cache = MaskCache::new();
+        let cands0 = generate_candidates(&g0, &sim0, &CandidateConfig::default());
+        let mut est = BatchEstimator::with_cache(&g0, &sim0, &eval, &mut cache, None);
+        let scored0 = est.score_all(&cands0);
+
+        let pick = scored0
+            .iter()
+            .filter(|s| s.delta_e <= 0.02)
+            .max_by_key(|s| s.gain)
+            .expect("some candidate fits the bound");
+        let mut g1 = g0.clone();
+        lac::apply(&mut g1, &pick.lac).unwrap();
+        let remap = g1.cleanup().unwrap();
+
+        let sim1 = simulate(&g1, &pats);
+        let mut eval1 = ErrorEval::new(MetricKind::Er, &golden, pats.n_patterns());
+        eval1.rebase(&sim1.output_sigs(&g1));
+        let cands1 = generate_candidates(&g1, &sim1, &CandidateConfig::default());
+
+        let mut cached_est =
+            BatchEstimator::with_cache(&g1, &sim1, &eval1, &mut cache, Some(&remap));
+        let cached = cached_est.score_all(&cands1);
+        drop(cached_est);
+        let stats = cache.stats();
+        assert!(stats.carried > 0, "roll carried no masks: {stats:?}");
+        assert!(stats.hits > 0, "no cache hits: {stats:?}");
+
+        let mut fresh_est = BatchEstimator::new(&g1, &sim1, &eval1);
+        let fresh = fresh_est.score_all(&cands1);
+        assert_eq!(cached.len(), fresh.len());
+        for (c, f) in cached.iter().zip(&fresh) {
+            assert_eq!(c.lac, f.lac);
+            assert_eq!(c.gain, f.gain);
+            assert_eq!(
+                c.delta_e.to_bits(),
+                f.delta_e.to_bits(),
+                "{}: cached {} vs fresh {}",
+                c.lac,
+                c.delta_e,
+                f.delta_e
+            );
+        }
     }
 }

@@ -1,8 +1,8 @@
 use crate::kinds::{Lac, LacKind};
 use aig::{Aig, Fanouts, Node, NodeId};
 use bitsim::{popcount, Sim};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 /// Tuning knobs for [`generate_candidates`].
 ///

@@ -1,6 +1,6 @@
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 /// Iterated (1,2)-swap local search, in the spirit of the
 /// Andrade–Resende–Werneck heuristic that underlies KaMIS.

@@ -1,0 +1,385 @@
+//! Std-only deterministic pseudo-random numbers.
+//!
+//! This crate replaces the external `rand` dependency with a small
+//! internal generator so the workspace builds with no network access. It
+//! mirrors the subset of the `rand` 0.8 API the workspace uses — swap
+//! `use rand::...` for `use prng::...` and everything else reads the
+//! same:
+//!
+//! - [`rngs::StdRng`] — the workspace's standard generator, a
+//!   xoshiro256\*\* stream seeded through SplitMix64,
+//! - [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`],
+//! - [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! - [`seq::SliceRandom`] with `choose`, `choose_multiple`, `shuffle`.
+//!
+//! **Signature change vs `rand`:** seeds are preserved everywhere, but
+//! the *streams* differ — `rand::rngs::StdRng` is ChaCha12-based while
+//! this crate is xoshiro256\*\*-based, so any artifact derived from a
+//! seeded run (generated circuits, sampled pattern sets, MIS tie-breaks)
+//! differs from pre-switch runs with the same seed. Determinism per seed
+//! is unchanged: the same `(seed, call sequence)` always yields the same
+//! values, on every platform (no `usize`-width dependence: index helpers
+//! draw from the `u64` stream).
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random 64-bit words. Everything else derives from this.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanded via SplitMix64 as
+    /// recommended by the xoshiro authors.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG (the subset of
+/// `rand::distributions::Standard` the workspace needs).
+pub trait Fill: Sized {
+    /// Draws one uniformly distributed value.
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            #[inline]
+            fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for u128 {
+    #[inline]
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Fill for bool {
+    #[inline]
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Fill for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Fill for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn fill_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as u64 {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + uniform_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::fill_from(rng) * (self.end - self.start)
+    }
+}
+
+/// Unbiased uniform draw from `[0, span)` (`span > 0`) via Lemire's
+/// multiply-shift with rejection.
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Widening multiply; reject the biased low region.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = rng.next_u64() as u128 * span as u128;
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of an inferred type.
+    #[inline]
+    fn gen<T: Fill>(&mut self) -> T {
+        T::fill_from(self)
+    }
+
+    /// A value drawn uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::fill_from(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// SplitMix64: expands a `u64` into a well-mixed stream; used only for
+/// seeding the main generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\*: the workspace's standard generator. 256 bits of
+/// state, period `2^256 - 1`, excellent statistical quality, and fast
+/// enough to fill pattern sets at memory speed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        if s == [0; 4] {
+            // The all-zero state is a fixed point; nudge it.
+            return Self::seed_from_u64(0);
+        }
+        Xoshiro256StarStar { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64::new(state);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+/// A stream split off a parent generator, decorrelated by hashing the
+/// stream index through the parent's next word. Useful for giving each
+/// parallel worker its own deterministic stream regardless of thread
+/// scheduling.
+pub fn stream(seed: u64, index: u64) -> Xoshiro256StarStar {
+    // Mix the index in through SplitMix64 so streams 0, 1, 2, … are
+    // statistically independent even for adjacent seeds.
+    let mut sm = SplitMix64::new(seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+    Xoshiro256StarStar {
+        s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference sequence from the xoshiro256** reference C code with
+        // state {1, 2, 3, 4}.
+        let mut rng = Xoshiro256StarStar { s: [1, 2, 3, 4] };
+        let expect: [u64; 6] = [
+            11520,
+            0,
+            1509978240,
+            1215971899390074240,
+            1216172134540287360,
+            607988272756665600,
+        ];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "word {i}");
+        }
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs of SplitMix64 at seed 0 (public reference values).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit in 1000 draws");
+        for _ in 0..100 {
+            let v: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+        let v: u64 = rng.gen_range(0..=u64::MAX);
+        let _ = v;
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| rng.gen_bool(0.3)).count() as f64 / n as f64;
+        assert!((ones - 0.3).abs() < 0.02, "observed {ones}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let a: Vec<u64> = {
+            let mut r = stream(5, 0);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = stream(5, 1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,10 @@
+//! Named generator types, mirroring `rand::rngs`.
+
+/// The workspace's standard seeded generator.
+///
+/// An alias for [`Xoshiro256StarStar`](crate::Xoshiro256StarStar); the
+/// name matches `rand::rngs::StdRng` so call sites read identically.
+/// Unlike `rand`'s ChaCha12-based `StdRng`, this stream is *not*
+/// cryptographically secure — it is a statistical generator for
+/// simulation patterns, sampling, and tie-breaking.
+pub type StdRng = crate::Xoshiro256StarStar;

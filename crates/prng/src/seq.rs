@@ -1,0 +1,111 @@
+//! Sequence-related sampling helpers, mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods for random slice operations.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements sampled without replacement (all
+    /// elements if `amount >= len`). Like `rand`, the order of the
+    /// returned elements is not the slice order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector: the first `amount`
+        // positions end up holding a uniform sample without replacement.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_is_uniformish_and_in_slice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = [10, 20, 30, 40];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let &x = v.choose(&mut rng).unwrap();
+            counts[x / 10 - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_is_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<usize> = (0..20).collect();
+        for amount in [0, 1, 5, 20, 25] {
+            let picked: Vec<usize> = v.choose_multiple(&mut rng, amount).copied().collect();
+            assert_eq!(picked.len(), amount.min(20));
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), picked.len(), "duplicates in {picked:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements left in order");
+    }
+}

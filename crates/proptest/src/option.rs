@@ -1,0 +1,28 @@
+//! Strategies producing `Option` values (mirrors `proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use prng::Rng;
+
+/// Yields `Some` from the inner strategy half the time, `None` the other
+/// half (real proptest's default probability).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen::<bool>() {
+            Some(self.inner.gen_value(rng))
+        } else {
+            None
+        }
+    }
+}

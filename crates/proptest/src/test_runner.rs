@@ -1,0 +1,150 @@
+//! The case loop: generate, run, report.
+
+use crate::strategy::Strategy;
+use crate::ProptestConfig;
+use std::fmt;
+
+/// The RNG handed to strategies. One independent stream per case, so a
+/// failing case reproduces from `(PROPTEST_SEED, case index)` alone.
+pub type TestRng = prng::Xoshiro256StarStar;
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input does not satisfy a `prop_assume!` precondition; the
+    /// case is skipped without counting as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Runs one property over `config.cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the property `name`. The base seed comes
+    /// from `PROPTEST_SEED` (default 0) mixed with the property name, so
+    /// distinct properties explore distinct streams.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u64);
+        TestRunner {
+            config,
+            name,
+            seed: base ^ fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Generates and checks `cases` inputs, panicking on the first
+    /// failure with the input value and reproduction info.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+        S::Value: Clone,
+    {
+        let mut rejected = 0u64;
+        for case in 0..self.config.cases as u64 {
+            let mut rng = prng::stream(self.seed, case);
+            let value = strategy.gen_value(&mut rng);
+            match test(value.clone()) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > 4 * self.config.cases as u64 {
+                        panic!(
+                            "{}: too many rejected inputs ({rejected}); weaken prop_assume!",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{name}: property failed at case {case}\n\
+                         {msg}\n\
+                         input: {value:#?}\n\
+                         reproduce with PROPTEST_SEED={seed} (case stream {case})",
+                        name = self.name,
+                        seed = self.seed ^ fnv1a(self.name.as_bytes()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<bool>(), 2..5usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn flat_map_dependent_generation(
+            (n, v) in (1usize..10).prop_flat_map(|n| {
+                (crate::strategy::Just(n), crate::collection::vec(0usize..100, n))
+            })
+        ) {
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_input() {
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(16), "demo");
+        runner.run(&(0usize..100,), |(x,)| {
+            prop_assert!(x < 5, "x was {}", x);
+            Ok(())
+        });
+    }
+}

@@ -5,6 +5,9 @@ set -u
 cd "$(dirname "$0")"
 REPS="${1:---reps}"; shift 2>/dev/null || true
 mkdir -p results
+# Preflight: the whole suite must build offline before burning hours on
+# experiment binaries (tests are covered by CI / check_offline.sh alone).
+./scripts/check_offline.sh --quick || exit 1
 run() {
     echo "=== $* ==="
     cargo run -p accals-bench --release --bin "$@" 2>/dev/null

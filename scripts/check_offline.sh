@@ -1,0 +1,24 @@
+#!/bin/bash
+# Tier-1 verify with the network ruled out: the workspace must build and
+# test from the committed sources alone (in-tree prng/proptest/criterion
+# shims, no crates-io access). Used standalone and as the preflight of
+# run_experiments.sh.
+#
+# Usage: scripts/check_offline.sh [--quick]
+#   --quick   build only (skip the test suite); used where a full test
+#             run already happened in the same CI job.
+set -eu
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+echo "== tier-1 (offline): cargo build --release =="
+cargo build --release --workspace --offline
+
+if [ "$QUICK" -eq 0 ]; then
+    echo "== tier-1 (offline): cargo test -q =="
+    cargo test -q --workspace --offline
+fi
+
+echo "check_offline: OK"
