@@ -2,22 +2,29 @@ use crate::conflict::find_solve_conflicts;
 use crate::indep::select_indep_lacs;
 use crate::topset::obtain_top_set;
 use crate::trace::RoundTrace;
+use crate::trial::{TrialEval, TrialMeasure};
 use crate::AccalsConfig;
 use aig::{Aig, Lit};
-use bitsim::{simulate, Patterns};
+use bitsim::{simulate, ConeTopology, Patterns, Sim};
 use errmetrics::{error, ErrorEval};
 use estimate::{BatchEstimator, MaskCache};
 use lac::{apply_all, ApplyReport, Lac, ScoredLac};
+use parkit::ThreadPool;
 use prng::rngs::StdRng;
 use prng::seq::SliceRandom;
 use prng::SeedableRng;
 use std::time::{Duration, Instant};
+
+/// A selected round edit: the winning candidate, the committed circuit,
+/// its measured error, the apply report, and the cleanup remap.
+type PickedEdit = (ScoredLac, Aig, f64, ApplyReport, Vec<Option<Lit>>);
 
 /// The AccALS synthesis engine. Construct with a configuration, then
 /// call [`Accals::synthesize`].
 #[derive(Debug, Clone)]
 pub struct Accals {
     cfg: AccalsConfig,
+    pool: &'static ThreadPool,
 }
 
 /// The outcome of a synthesis run.
@@ -62,7 +69,7 @@ impl SynthesisResult {
     /// A one-paragraph human-readable summary of the run.
     pub fn summary(&self) -> String {
         format!(
-            "{}: {} -> {} AND gates ({:.1}%), error {:.6}, {} LACs over {}              rounds in {:.2?}{}",
+            "{}: {} -> {} AND gates ({:.1}%), error {:.6}, {} LACs over {} rounds in {:.2?}{}",
             self.aig.name(),
             self.initial_ands,
             self.aig.n_ands(),
@@ -82,13 +89,11 @@ impl SynthesisResult {
     /// round), for offline analysis of a synthesis run.
     pub fn trace_csv(&self) -> String {
         let mut s = String::from(
-            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,             applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after
-",
+            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after\n",
         );
         for t in &self.rounds {
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}
-",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 t.round,
                 t.single_mode,
                 t.n_candidates,
@@ -121,7 +126,18 @@ impl Accals {
         assert!((0.0..=1.0).contains(&cfg.l_e), "l_e must be in [0, 1]");
         assert!((0.0..=1.0).contains(&cfg.l_d), "l_d must be in [0, 1]");
         assert!(cfg.lambda > 0.0, "lambda must be positive");
-        Accals { cfg }
+        Accals {
+            cfg,
+            pool: parkit::global(),
+        }
+    }
+
+    /// Uses `pool` for speculative trial races instead of the global
+    /// thread pool. The synthesized circuit is identical at any thread
+    /// count; only the wall-clock changes.
+    pub fn with_pool(mut self, pool: &'static ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The engine's configuration.
@@ -156,7 +172,7 @@ impl Accals {
     pub fn synthesize_with_patterns(&self, golden: &Aig, pats: &Patterns) -> SynthesisResult {
         let cfg = &self.cfg;
         let start = Instant::now();
-        let golden_sigs = simulate(golden, &pats).output_sigs(golden);
+        let golden_sigs = simulate(golden, pats).output_sigs(golden);
         let mut eval = ErrorEval::new(cfg.metric, &golden_sigs, pats.n_patterns());
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_cafe);
         let initial_ands = golden.n_ands();
@@ -174,7 +190,7 @@ impl Accals {
         let mut last_remap: Option<Vec<Option<Lit>>> = None;
 
         for round in 0..cfg.max_rounds {
-            let sim = simulate(&current, &pats);
+            let sim = simulate(&current, pats);
             eval.rebase(&sim.output_sigs(&current));
             let cands = lac::generate_candidates(&current, &sim, &cfg.candidates);
             if cands.is_empty() {
@@ -197,14 +213,16 @@ impl Accals {
 
             let single_mode = e > cfg.l_e * cfg.error_bound;
             let (next, mut t, remap) = if single_mode {
-                self.single_round(&current, &golden_sigs, &pats, scored, e)
+                self.single_round(&current, &golden_sigs, pats, &sim, &eval, scored, e)
                     .expect("scored list is non-empty")
             } else {
                 let (n1, t1, r1) = self
                     .multi_round(
                         &current,
                         &golden_sigs,
-                        &pats,
+                        pats,
+                        &sim,
+                        &eval,
                         scored.clone(),
                         e,
                         r_ref,
@@ -223,7 +241,7 @@ impl Accals {
                     // scored list: the expensive simulate + estimate work
                     // is already paid for, so this stays one round rather
                     // than burning a fresh estimation pass on the retry.
-                    self.single_round(&current, &golden_sigs, &pats, scored, e)
+                    self.single_round(&current, &golden_sigs, pats, &sim, &eval, scored, e)
                         .expect("scored list is non-empty")
                 }
             };
@@ -301,11 +319,51 @@ impl Accals {
         (copy, e, report, remap)
     }
 
+    /// Commits `lacs` — clone, apply, cleanup — *without* the full
+    /// re-simulate and re-score: the caller passes the trial-measured
+    /// error, which the [`TrialEval`] contract guarantees is
+    /// bit-identical to a fresh measurement of the committed circuit.
+    /// Debug builds re-measure and verify that contract on every commit.
+    fn commit_measured(
+        &self,
+        base: &Aig,
+        lacs: &[ScoredLac],
+        e_trial: f64,
+        golden_sigs: &[Vec<u64>],
+        pats: &Patterns,
+    ) -> (Aig, ApplyReport, Vec<Option<Lit>>) {
+        let mut copy = base.clone();
+        let plain: Vec<Lac> = lacs.iter().map(|s| s.lac).collect();
+        let report = apply_all(&mut copy, &plain);
+        let remap = copy.cleanup().expect("editing keeps the graph acyclic");
+        #[cfg(debug_assertions)]
+        {
+            let sim = simulate(&copy, pats);
+            let e_real = error(
+                self.cfg.metric,
+                golden_sigs,
+                &sim.output_sigs(&copy),
+                pats.n_patterns(),
+            );
+            assert_eq!(
+                e_real.to_bits(),
+                e_trial.to_bits(),
+                "trial measurement diverged from the committed circuit"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = (e_trial, golden_sigs, pats);
+        (copy, report, remap)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn single_round(
         &self,
         current: &Aig,
         golden_sigs: &[Vec<u64>],
         pats: &Patterns,
+        sim: &Sim,
+        eval: &ErrorEval,
         scored: Vec<ScoredLac>,
         e: f64,
     ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
@@ -318,24 +376,39 @@ impl Accals {
                 .then(b.gain.cmp(&a.gain))
                 .then(a.lac.tn.cmp(&b.lac.tn))
         });
+        top.truncate(64);
         // Try candidates in order until one makes progress (area shrinks,
         // or the error moves at equal area — never area growth, which
         // would let the flow cycle). A candidate that overshoots the
         // bound is terminal: Algorithm 1 stops there.
-        let mut last: Option<(ScoredLac, Aig, f64, lac::ApplyReport, Vec<Option<Lit>>)> = None;
-        for best in top.into_iter().take(64) {
-            let (next, e_after, report, remap) =
-                self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
-            let progress = next.n_ands() <= current.n_ands()
-                && (next.n_ands() < current.n_ands() || e_after != e);
-            let terminal = e_after > self.cfg.error_bound;
-            let done = progress || terminal;
-            last = Some((best, next, e_after, report, remap));
-            if done {
-                break;
+        let picked = if self.cfg.incremental_trials {
+            let (i, m) = self.pick_single_trial(current, sim, eval, &top, e)?;
+            let best = top.swap_remove(i);
+            let (next, report, remap) = self.commit_measured(
+                current,
+                std::slice::from_ref(&best),
+                m.e_after,
+                golden_sigs,
+                pats,
+            );
+            Some((best, next, m.e_after, report, remap))
+        } else {
+            let mut last: Option<PickedEdit> = None;
+            for best in top {
+                let (next, e_after, report, remap) =
+                    self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
+                let progress = next.n_ands() <= current.n_ands()
+                    && (next.n_ands() < current.n_ands() || e_after != e);
+                let terminal = e_after > self.cfg.error_bound;
+                let done = progress || terminal;
+                last = Some((best, next, e_after, report, remap));
+                if done {
+                    break;
+                }
             }
-        }
-        let (best, next, e_after, report, remap) = last?;
+            last
+        };
+        let (best, next, e_after, report, remap) = picked?;
         let n_ands_after = next.n_ands();
         Some((
             next,
@@ -360,12 +433,87 @@ impl Accals {
         ))
     }
 
+    /// The single-mode trial ladder over the incremental engine: finds
+    /// the index (and trial measurement) of the first candidate in `top`
+    /// that makes progress or overshoots the bound — the candidate the
+    /// sequential apply-and-measure ladder would stop at — without
+    /// committing any of them. Falls back to the last index when none is
+    /// decisive.
+    ///
+    /// With more than one pool thread, candidates are measured
+    /// speculatively in parallel waves; every measurement is
+    /// bit-identical to its sequential counterpart and the wave results
+    /// are scanned in candidate order, so the pick is deterministic at
+    /// any thread count.
+    fn pick_single_trial(
+        &self,
+        current: &Aig,
+        sim: &Sim,
+        eval: &ErrorEval,
+        top: &[ScoredLac],
+        e: f64,
+    ) -> Option<(usize, TrialMeasure)> {
+        if top.is_empty() {
+            return None;
+        }
+        let topo = ConeTopology::build(current);
+        let n_ands = current.n_ands();
+        let done = |m: &TrialMeasure| {
+            let na = m.n_ands_after.expect("single trials measure area");
+            let progress = na <= n_ands && (na < n_ands || m.e_after != e);
+            progress || m.e_after > self.cfg.error_bound
+        };
+        let threads = self.pool.threads();
+        if threads <= 1 {
+            let mut te = TrialEval::new(current, sim, eval, topo);
+            let mut last = None;
+            for (i, s) in top.iter().enumerate() {
+                let m = te.measure(std::slice::from_ref(s), true);
+                let decisive = done(&m);
+                last = Some((i, m));
+                if decisive {
+                    break;
+                }
+            }
+            return last;
+        }
+        // Ladders are shallow in practice (the first candidate is usually
+        // decisive), so ramp the speculative wave geometrically: the first
+        // wave costs the same as the sequential ladder, and full-width
+        // speculation only engages on the rare deep ladder where the
+        // parallel race actually pays.
+        let wave_cap = (threads * 2).clamp(2, 16);
+        let mut wave = 1;
+        let mut start = 0;
+        let mut last = None;
+        while start < top.len() {
+            let slice = &top[start..(start + wave).min(top.len())];
+            let chunk = slice.len().div_ceil(threads).max(1);
+            let measures = self.pool.par_chunk_results(slice.len(), chunk, |_, r| {
+                let mut te = TrialEval::new(current, sim, eval, topo.clone());
+                r.map(|i| te.measure(std::slice::from_ref(&slice[i]), true))
+                    .collect::<Vec<_>>()
+            });
+            for (i, m) in measures.iter().flatten().enumerate() {
+                if done(m) {
+                    return Some((start + i, *m));
+                }
+                last = Some((start + i, *m));
+            }
+            start += slice.len();
+            wave = (wave * 2).min(wave_cap);
+        }
+        last
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn multi_round(
         &self,
         current: &Aig,
         golden_sigs: &[Vec<u64>],
         pats: &Patterns,
+        sim: &Sim,
+        eval: &ErrorEval,
         scored: Vec<ScoredLac>,
         e: f64,
         r_ref: usize,
@@ -392,6 +540,22 @@ impl Accals {
         } else {
             Vec::new()
         };
+
+        if cfg.incremental_trials {
+            return self.multi_round_incremental(
+                current,
+                golden_sigs,
+                pats,
+                sim,
+                eval,
+                e,
+                n_candidates,
+                &l_top,
+                l_sol.len(),
+                &l_indp,
+                &l_rand,
+            );
+        }
 
         let (g1, e1, rep1, rm1) = self.apply_and_measure(current, &l_indp, golden_sigs, pats);
         let (mut next, mut e_after, mut report, mut remap, mut chose_indp, mut chosen) =
@@ -436,6 +600,102 @@ impl Accals {
                 n_candidates,
                 r_top: l_top.len(),
                 n_sol: l_sol.len(),
+                n_indp: l_indp.len(),
+                n_rand: l_rand.len(),
+                chose_indp,
+                applied: report.applied,
+                dropped_cycle: report.dropped_cycle,
+                reverted,
+                e_before: e,
+                e_after,
+                e_est,
+                n_ands_after,
+            },
+            remap,
+        ))
+    }
+
+    /// The multi-mode race over the incremental engine: trial-measures
+    /// the independent and the random set (concurrently when the pool
+    /// has threads to spare), picks the winner by the same rule as the
+    /// committed race, runs the `l_d` negative-set check on trial
+    /// measurements, and only then commits the chosen set through the
+    /// one real apply-and-measure of the round — producing the remap the
+    /// mask cache rolls forward, exactly as the non-incremental path.
+    #[allow(clippy::too_many_arguments)]
+    fn multi_round_incremental(
+        &self,
+        current: &Aig,
+        golden_sigs: &[Vec<u64>],
+        pats: &Patterns,
+        sim: &Sim,
+        eval: &ErrorEval,
+        e: f64,
+        n_candidates: usize,
+        l_top: &[ScoredLac],
+        n_sol: usize,
+        l_indp: &[ScoredLac],
+        l_rand: &[ScoredLac],
+    ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
+        let cfg = &self.cfg;
+        let topo = ConeTopology::build(current);
+        let (e1, e2) = if cfg.race_random && self.pool.threads() > 1 {
+            let sets = [l_indp, l_rand];
+            let es = self.pool.par_map_collect(&sets, |_, set| {
+                let mut te = TrialEval::new(current, sim, eval, topo.clone());
+                te.measure(set, false).e_after
+            });
+            (es[0], es[1])
+        } else {
+            let mut te = TrialEval::new(current, sim, eval, topo.clone());
+            let e1 = te.measure(l_indp, false).e_after;
+            let e2 = if cfg.race_random {
+                te.measure(l_rand, false).e_after
+            } else {
+                f64::INFINITY
+            };
+            (e1, e2)
+        };
+
+        let chose_indp = !cfg.race_random || e1 < e2 || (e1 == e2 && l_indp.len() >= l_rand.len());
+        let (mut e_after, mut chosen) = if chose_indp {
+            (e1, l_indp)
+        } else {
+            (e2, l_rand)
+        };
+        let mut e_est = e + chosen.iter().map(|s| s.delta_e).sum::<f64>();
+
+        // Improvement technique 2: detect a negative LAC set and revert
+        // to applying only the single best LAC.
+        let mut reverted = false;
+        let best_holder;
+        if e_after > 0.0 {
+            let beta = (e_after - e_est) / e_after;
+            if beta > cfg.l_d {
+                best_holder = l_top[0].clone();
+                let mut te = TrialEval::new(current, sim, eval, topo);
+                e_after = te
+                    .measure(std::slice::from_ref(&best_holder), false)
+                    .e_after;
+                e_est = e + best_holder.delta_e;
+                reverted = true;
+                chosen = std::slice::from_ref(&best_holder);
+            }
+        }
+
+        // Commit the round's one real apply + cleanup; the trial error
+        // stands in for the full re-measure (bit-identical by contract).
+        let (next, report, remap) =
+            self.commit_measured(current, chosen, e_after, golden_sigs, pats);
+        let n_ands_after = next.n_ands();
+        Some((
+            next,
+            RoundTrace {
+                round: 0,
+                single_mode: false,
+                n_candidates,
+                r_top: l_top.len(),
+                n_sol,
                 n_indp: l_indp.len(),
                 n_rand: l_rand.len(),
                 chose_indp,
@@ -537,6 +797,108 @@ mod tests {
         for l in &lines[1..] {
             assert_eq!(l.split(',').count(), cols, "ragged CSV row: {l}");
         }
+    }
+
+    fn trace(round: usize, single_mode: bool, chose_indp: bool, reverted: bool) -> RoundTrace {
+        RoundTrace {
+            round,
+            single_mode,
+            n_candidates: 10,
+            r_top: 5,
+            n_sol: 4,
+            n_indp: 3,
+            n_rand: 3,
+            chose_indp,
+            applied: 2,
+            dropped_cycle: 0,
+            reverted,
+            e_before: 0.01,
+            e_after: 0.02,
+            e_est: 0.015,
+            n_ands_after: 30,
+        }
+    }
+
+    fn synthetic_result(rounds: Vec<RoundTrace>) -> SynthesisResult {
+        let mut g = Aig::new("synthetic", 2);
+        let y = g.and(g.pi(0), g.pi(1));
+        g.add_output(y, "y");
+        SynthesisResult {
+            aig: g,
+            error: 0.02,
+            rounds,
+            runtime: Duration::from_millis(12),
+            initial_ands: 4,
+            n_patterns: 64,
+        }
+    }
+
+    #[test]
+    fn trace_csv_header_is_exactly_the_round_trace_fields() {
+        let result = synthetic_result(vec![trace(0, false, true, false)]);
+        let csv = result.trace_csv();
+        let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+        assert_eq!(
+            header,
+            [
+                "round",
+                "single_mode",
+                "n_candidates",
+                "r_top",
+                "n_sol",
+                "n_indp",
+                "n_rand",
+                "chose_indp",
+                "applied",
+                "dropped_cycle",
+                "reverted",
+                "e_before",
+                "e_after",
+                "e_est",
+                "n_ands_after",
+            ]
+        );
+        // Every row has exactly as many fields as the header.
+        for l in csv.lines().skip(1) {
+            assert_eq!(l.split(',').count(), header.len(), "ragged row: {l}");
+        }
+    }
+
+    #[test]
+    fn summary_is_a_single_clean_line() {
+        let result = synthetic_result(vec![trace(0, false, true, false)]);
+        let summary = result.summary();
+        assert!(
+            summary.starts_with("synthetic: 4 -> 1 AND gates"),
+            "{summary}"
+        );
+        assert!(summary.contains("error 0.020000"), "{summary}");
+        assert!(summary.contains("L_indp ratio 1.00"), "{summary}");
+        assert!(!summary.contains('\n'), "{summary}");
+        assert!(!summary.contains("  "), "double space: {summary}");
+        // Single-mode-only runs omit the ratio clause.
+        let single = synthetic_result(vec![trace(0, true, false, false)]);
+        assert!(!single.summary().contains("L_indp"), "{}", single.summary());
+    }
+
+    #[test]
+    fn lindp_ratio_counts_only_accepted_multi_rounds() {
+        // No rounds at all, or only single-mode / reverted rounds: None.
+        assert_eq!(synthetic_result(Vec::new()).lindp_ratio(), None);
+        let skewed = synthetic_result(vec![
+            trace(0, true, false, false),
+            trace(1, false, true, true),
+        ]);
+        assert_eq!(skewed.lindp_ratio(), None);
+        // Two accepted multi rounds (one indp win, one random win), plus a
+        // reverted multi round and a single round that must not count.
+        let mixed = synthetic_result(vec![
+            trace(0, false, true, false),
+            trace(1, false, false, false),
+            trace(2, false, true, true),
+            trace(3, true, false, false),
+        ]);
+        assert_eq!(mixed.lindp_ratio(), Some(0.5));
     }
 
     #[test]

@@ -39,31 +39,46 @@ pub fn influence_index(
 ///
 /// Panics if the graph is cyclic.
 pub fn build_influence_graph(aig: &Aig, tns: &[NodeId], t_b: f64) -> Graph {
+    let pool = parkit::global();
     let fanouts = Fanouts::build(aig);
     let order = aig.topo_order().expect("acyclic");
     let mut pos = vec![0u32; aig.n_nodes()];
     for (i, id) in order.iter().enumerate() {
         pos[id.index()] = i as u32;
     }
-    let tfos: Vec<BitMask> = tns.iter().map(|&n| tfo_mask(aig, &fanouts, n)).collect();
-    let dists: Vec<Vec<Option<u32>>> = tns
-        .iter()
-        .map(|&n| shortest_forward_distances(aig, &fanouts, n))
-        .collect();
+    // The per-TN cone passes are independent; compute them in parallel.
+    let tfos: Vec<BitMask> = pool.par_map_collect(tns, |_, &n| tfo_mask(aig, &fanouts, n));
+    let dists: Vec<Vec<Option<u32>>> =
+        pool.par_map_collect(tns, |_, &n| shortest_forward_distances(aig, &fanouts, n));
 
-    let mut g = Graph::new(tns.len());
-    for i in 0..tns.len() {
-        for j in i + 1..tns.len() {
-            let (e, l) = if pos[tns[i].index()] <= pos[tns[j].index()] {
-                (i, j)
-            } else {
-                (j, i)
-            };
-            let p = influence_index(&dists[e], &tfos[e], &tfos[l], tns[l]);
-            if p > t_b {
-                g.add_edge(i, j);
+    let k = tns.len();
+    let mut g = Graph::new(k);
+    if k < 2 {
+        return g;
+    }
+    // The O(k²) pairwise scan, chunked by row. Edges come back in row
+    // order per chunk and chunks in order, so the insertion sequence —
+    // and therefore the graph — matches the serial double loop.
+    let chunk = k.div_ceil((pool.threads() * 4).max(1)).max(1);
+    let edge_chunks = pool.par_chunk_results(k, chunk, |_, rows| {
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for i in rows {
+            for j in i + 1..k {
+                let (e, l) = if pos[tns[i].index()] <= pos[tns[j].index()] {
+                    (i, j)
+                } else {
+                    (j, i)
+                };
+                let p = influence_index(&dists[e], &tfos[e], &tfos[l], tns[l]);
+                if p > t_b {
+                    edges.push((i, j));
+                }
             }
         }
+        edges
+    });
+    for (i, j) in edge_chunks.into_iter().flatten() {
+        g.add_edge(i, j);
     }
     g
 }
@@ -80,6 +95,7 @@ pub fn build_influence_graph(aig: &Aig, tns: &[NodeId], t_b: f64) -> Graph {
 ///    `lambda * error_bound` (at least one LAC is always selected).
 ///
 /// `l_sol` must be sorted by ascending `ΔE`.
+#[allow(clippy::too_many_arguments)]
 pub fn select_indep_lacs(
     aig: &Aig,
     l_sol: &[ScoredLac],
@@ -210,10 +226,7 @@ mod tests {
         let (g, nodes) = two_chains();
         // Three LACs on mutually independent nodes (use chain ends).
         let far = vec![nodes[0], nodes[2]];
-        let l_sol = vec![
-            scored_const(far[0], 0.01),
-            scored_const(far[1], 0.02),
-        ];
+        let l_sol = vec![scored_const(far[0], 0.01), scored_const(far[1], 0.02)];
         // Budget allows only the first: lambda * e_b = 0.018.
         let sel = select_indep_lacs(&g, &l_sol, 0.0, 0.02, 20, 0.5, 0.9, MisStrategy::Exact);
         assert_eq!(sel.len(), 1);
@@ -227,10 +240,7 @@ mod tests {
     fn non_positive_delta_lacs_all_selected_when_plentiful() {
         let (g, nodes) = two_chains();
         let far = vec![nodes[0], nodes[2]];
-        let l_sol = vec![
-            scored_const(far[0], -0.001),
-            scored_const(far[1], 0.0),
-        ];
+        let l_sol = vec![scored_const(far[0], -0.001), scored_const(far[1], 0.0)];
         // r_sel = 2 <= r_neg = 2: take all non-positive.
         let sel = select_indep_lacs(&g, &l_sol, 0.0, 0.01, 2, 0.5, 0.9, MisStrategy::Exact);
         assert_eq!(sel.len(), 2);

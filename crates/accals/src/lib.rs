@@ -41,9 +41,11 @@ pub mod topset;
 
 mod flow;
 mod trace;
+mod trial;
 
 pub use flow::{Accals, SynthesisResult};
 pub use trace::RoundTrace;
+pub use trial::{TrialEval, TrialMeasure};
 
 use errmetrics::MetricKind;
 use lac::CandidateConfig;
@@ -123,6 +125,13 @@ pub struct AccalsConfig {
     /// 7-12 of Algorithm 1). Disabling this always applies `L_indp`;
     /// used by the ablation experiments.
     pub race_random: bool,
+    /// Score trial applications with the incremental engine
+    /// ([`TrialEval`]: journaled edits, cone-union re-simulation,
+    /// affected-output error replay) instead of cloning and fully
+    /// re-simulating per trial. The synthesized circuit is identical
+    /// either way — measurements are bit-identical by construction — so
+    /// this exists for benchmarking the speedup and as a fallback.
+    pub incremental_trials: bool,
 }
 
 impl AccalsConfig {
@@ -149,6 +158,7 @@ impl AccalsConfig {
             seed: 0xACC_A15,
             max_rounds: 100_000,
             race_random: true,
+            incremental_trials: true,
         }
     }
 }

@@ -170,11 +170,7 @@ impl Aig {
     /// # Errors
     ///
     /// Returns [`AigError::OutputOutOfRange`] if `i` is out of range.
-    pub fn set_output_name(
-        &mut self,
-        i: usize,
-        name: impl Into<String>,
-    ) -> Result<(), AigError> {
+    pub fn set_output_name(&mut self, i: usize, name: impl Into<String>) -> Result<(), AigError> {
         let out = self
             .outputs
             .get_mut(i)
@@ -299,8 +295,30 @@ impl Aig {
         }
     }
 
+    /// A structural copy for trial edits: same nodes, outputs, and
+    /// names, but with structural hashing disabled and an empty hash
+    /// map. Replacement logic built on the copy therefore never aliases
+    /// an existing gate — matching the fresh-rebuild fallback the
+    /// committed apply path takes on a strash collision — and the copy
+    /// is what [`Aig::replace_via`] requires.
+    pub fn trial_copy(&self) -> Aig {
+        Aig {
+            name: self.name.clone(),
+            nodes: self.nodes.clone(),
+            n_pis: self.n_pis,
+            pi_names: self.pi_names.clone(),
+            outputs: self.outputs.clone(),
+            strash: HashMap::new(),
+            strash_enabled: false,
+        }
+    }
+
     pub(crate) fn nodes_mut(&mut self) -> &mut [Node] {
         &mut self.nodes
+    }
+
+    pub(crate) fn truncate_nodes(&mut self, len: usize) {
+        self.nodes.truncate(len);
     }
 
     pub(crate) fn outputs_mut(&mut self) -> &mut [Output] {

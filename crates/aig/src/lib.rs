@@ -49,12 +49,14 @@ mod graph;
 mod lit;
 mod node;
 mod opt;
+mod patch;
 mod topo;
 
 pub use error::AigError;
 pub use graph::{Aig, Output};
 pub use lit::Lit;
 pub use node::{Node, NodeId};
+pub use patch::PatchLog;
 pub use topo::Fanouts;
 
 /// Cone-analysis helpers: transitive fanin/fanout, distances, MFFCs.

@@ -47,10 +47,8 @@ fn and_rewrite(out: &mut Aig, a: Lit, b: Lit) -> Lit {
     }
     // Contradiction between two positive AND operands.
     if let (Some((a0, a1)), Some((b0, b1))) = (fan(out, a), fan(out, b)) {
-        if !a.is_neg() && !b.is_neg() {
-            if a0 == !b0 || a0 == !b1 || a1 == !b0 || a1 == !b1 {
-                return Lit::FALSE; // share a variable in opposite phase
-            }
+        if !a.is_neg() && !b.is_neg() && (a0 == !b0 || a0 == !b1 || a1 == !b0 || a1 == !b1) {
+            return Lit::FALSE; // share a variable in opposite phase
         }
     }
     out.and(a, b)
@@ -103,9 +101,7 @@ impl Aig {
         // the two mappings.
         let sweep_map = out.cleanup()?;
         for slot in &mut map {
-            *slot = slot.and_then(|l| {
-                sweep_map[l.node().index()].map(|m| m.xor_neg(l.is_neg()))
-            });
+            *slot = slot.and_then(|l| sweep_map[l.node().index()].map(|m| m.xor_neg(l.is_neg())));
         }
         Ok((out, map))
     }

@@ -1,0 +1,401 @@
+//! Journaled trial edits: targeted node replacement with O(edited)
+//! rollback, plus a counting variant of [`Aig::compact`].
+//!
+//! The incremental trial-evaluation engine applies a candidate LAC set
+//! to a reusable working graph (an [`Aig::trial_copy`]), measures it,
+//! and undoes the edit — thousands of times per synthesis round. The
+//! full-scan [`Aig::replace`] and the allocating [`Aig::compact`] are
+//! too heavy for that loop; this module provides the two primitives it
+//! needs:
+//!
+//! - [`Aig::replace_via`] rewires only a known consumer list and
+//!   journals every overwritten entry into a [`PatchLog`], which
+//!   [`Aig::rollback`] replays in reverse;
+//! - [`Aig::compacted_n_ands`] replays the compaction rebuild (dead-node
+//!   sweep, constant folding, structural hashing) with a counting hash
+//!   table instead of building the compacted graph.
+
+use crate::error::AigError;
+use crate::graph::Aig;
+use crate::lit::Lit;
+use crate::node::{Node, NodeId};
+
+/// A journal of reversible graph edits made through [`Aig::replace_via`].
+///
+/// The log captures the node-table length at [`PatchLog::begin`] plus
+/// every node entry and output literal overwritten since; a
+/// [`Aig::rollback`] restores them in reverse order and truncates any
+/// appended nodes, returning the graph to its captured state.
+#[derive(Debug, Default)]
+pub struct PatchLog {
+    base_len: usize,
+    saved_nodes: Vec<(NodeId, Node)>,
+    saved_outputs: Vec<(usize, Lit)>,
+}
+
+impl PatchLog {
+    /// Starts a journal over the current state of `aig`.
+    pub fn begin(aig: &Aig) -> Self {
+        PatchLog {
+            base_len: aig.n_nodes(),
+            saved_nodes: Vec::new(),
+            saved_outputs: Vec::new(),
+        }
+    }
+
+    /// The node count captured at [`PatchLog::begin`]; nodes at or past
+    /// this index were appended by the journaled edits.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Whether any edit has been journaled since the last rollback.
+    pub fn is_empty(&self) -> bool {
+        self.saved_nodes.is_empty() && self.saved_outputs.is_empty()
+    }
+
+    /// The gates whose fanin literals were rewired (in edit order; a
+    /// gate consuming several replaced targets appears once per rewire).
+    pub fn rewired_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.saved_nodes.iter().map(|&(n, _)| n)
+    }
+
+    /// The primary outputs whose literals were redirected.
+    pub fn rewired_outputs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.saved_outputs.iter().map(|&(i, _)| i)
+    }
+}
+
+impl Aig {
+    /// [`Aig::replace`] restricted to a known consumer list, journaling
+    /// every overwritten entry into `log` so [`Aig::rollback`] can undo
+    /// the edit without a full node scan.
+    ///
+    /// `consumers` must cover every gate currently referencing `n` —
+    /// typically the fanout list of the *base* graph, which remains the
+    /// correct consumer set for every target of a conflict-free LAC
+    /// batch (distinct targets, no substitute equal to another target:
+    /// no edit ever rewires an edge onto a target). Primary outputs are
+    /// scanned in full. Debug builds verify that no reference to `n`
+    /// survives.
+    ///
+    /// Structural hashing must be disabled (see [`Aig::trial_copy`]):
+    /// rewiring a gate's fanins in place would otherwise strand a stale
+    /// hash entry under the gate's old fanin pair.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Aig::replace`]: [`AigError::NotAnAnd`] for a
+    /// non-gate target, [`AigError::WouldCreateCycle`] if `n` lies in
+    /// the transitive fanin of `with`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if structural hashing is still enabled.
+    pub fn replace_via(
+        &mut self,
+        n: NodeId,
+        with: Lit,
+        consumers: &[NodeId],
+        log: &mut PatchLog,
+    ) -> Result<(), AigError> {
+        assert!(
+            !self.strash_enabled,
+            "replace_via requires structural hashing to be disabled (see Aig::trial_copy)"
+        );
+        if n.index() >= self.n_nodes() {
+            return Err(AigError::NodeOutOfRange(n));
+        }
+        if !self.node(n).is_and() {
+            return Err(AigError::NotAnAnd(n));
+        }
+        if with.node() != n && self.tfi_contains(with.node(), n) {
+            return Err(AigError::WouldCreateCycle {
+                target: n,
+                via: with.node(),
+            });
+        }
+        if with.node() == n {
+            if with.is_neg() {
+                return Err(AigError::WouldCreateCycle { target: n, via: n });
+            }
+            return Ok(());
+        }
+        for &c in consumers {
+            let node = &mut self.nodes_mut()[c.index()];
+            if let Node::And(a, b) = *node {
+                if a.node() == n || b.node() == n {
+                    log.saved_nodes.push((c, *node));
+                    let a = if a.node() == n {
+                        with.xor_neg(a.is_neg())
+                    } else {
+                        a
+                    };
+                    let b = if b.node() == n {
+                        with.xor_neg(b.is_neg())
+                    } else {
+                        b
+                    };
+                    *node = Node::And(a, b);
+                }
+            }
+        }
+        for (i, out) in self.outputs_mut().iter_mut().enumerate() {
+            if out.lit.node() == n {
+                log.saved_outputs.push((i, out.lit));
+                out.lit = with.xor_neg(out.lit.is_neg());
+            }
+        }
+        #[cfg(debug_assertions)]
+        for id in self.node_ids() {
+            if let Node::And(a, b) = *self.node(id) {
+                debug_assert!(
+                    a.node() != n && b.node() != n,
+                    "consumer list missed a reference to {n} at {id}"
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Undoes every edit journaled in `log` — restoring overwritten
+    /// entries in reverse order and truncating appended nodes — and
+    /// leaves the log empty, ready for the next trial.
+    pub fn rollback(&mut self, log: &mut PatchLog) {
+        for (i, lit) in log.saved_outputs.drain(..).rev() {
+            self.outputs_mut()[i].lit = lit;
+        }
+        for (id, node) in log.saved_nodes.drain(..).rev() {
+            self.nodes_mut()[id.index()] = node;
+        }
+        self.truncate_nodes(log.base_len);
+    }
+
+    /// The AND count [`Aig::compact`] would produce, without building
+    /// the compacted graph: dead logic is skipped and the rebuild's
+    /// constant folding and structural hashing are replayed against a
+    /// counting hash table, so a trial evaluation can report the exact
+    /// post-cleanup area of a candidate edit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AigError::Cyclic`] if the graph contains a cycle.
+    pub fn compacted_n_ands(&self) -> Result<usize, AigError> {
+        let order = self.topo_order()?;
+        let live = self.live_mask();
+        let n_live_ands = order
+            .iter()
+            .filter(|id| live[id.index()] && self.node(**id).is_and())
+            .count();
+        let mut table = CountingStrash::new(n_live_ands);
+        let mut map: Vec<Option<Lit>> = vec![None; self.n_nodes()];
+        map[0] = Some(Lit::FALSE);
+        // Node ids of the rebuilt graph: constant 0, inputs 1..=n_pis,
+        // then one fresh id per deduplicated AND.
+        let mut next = 1 + self.n_pis();
+        for id in order {
+            if !live[id.index()] {
+                continue;
+            }
+            match *self.node(id) {
+                Node::Const0 => {}
+                Node::Input(i) => {
+                    map[id.index()] = Some(Lit::new(NodeId::new(1 + i as usize), false));
+                }
+                Node::And(a, b) => {
+                    let fa = map[a.node().index()]
+                        .expect("topological order maps fanins first")
+                        .xor_neg(a.is_neg());
+                    let fb = map[b.node().index()]
+                        .expect("topological order maps fanins first")
+                        .xor_neg(b.is_neg());
+                    map[id.index()] = Some(table.and(&mut next, fa, fb));
+                }
+            }
+        }
+        Ok(next - 1 - self.n_pis())
+    }
+}
+
+/// An open-addressing strash that replays [`Aig::and`]'s folding and
+/// canonicalization while only allocating node *ids*, never nodes.
+struct CountingStrash {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    mask: usize,
+}
+
+impl CountingStrash {
+    fn new(capacity_hint: usize) -> Self {
+        let cap = (capacity_hint * 2).next_power_of_two().max(16);
+        CountingStrash {
+            keys: vec![0; cap],
+            vals: vec![0; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// Mirrors [`Aig::and`] exactly: same fold rules, same canonical
+    /// operand order, same hit-or-allocate behavior.
+    fn and(&mut self, next: &mut usize, a: Lit, b: Lit) -> Lit {
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        // Post-fold both operands reference real nodes (raw >= 2), so
+        // the packed key is never zero and zero marks empty slots. The
+        // table holds at least twice the live AND count, so probing
+        // always terminates.
+        let key = (a.raw() as u64) << 32 | b.raw() as u64;
+        let mut h = key ^ (key >> 33);
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 29;
+        let mut slot = h as usize & self.mask;
+        loop {
+            if self.keys[slot] == key {
+                return Lit::new(NodeId::new(self.vals[slot] as usize), false);
+            }
+            if self.keys[slot] == 0 {
+                self.keys[slot] = key;
+                self.vals[slot] = *next as u32;
+                let lit = Lit::new(NodeId::new(*next), false);
+                *next += 1;
+                return lit;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::Fanouts;
+
+    fn sample() -> (Aig, Lit, Lit) {
+        let mut g = Aig::new("t", 3);
+        let (a, b, c) = (g.pi(0), g.pi(1), g.pi(2));
+        let ab = g.and(a, b);
+        let y = g.and(ab, c);
+        g.add_output(y, "y");
+        g.add_output(!ab, "z");
+        (g, ab, y)
+    }
+
+    #[test]
+    fn replace_via_matches_replace_and_rolls_back() {
+        let (base, ab, _) = sample();
+        let fanouts = Fanouts::build(&base);
+
+        let mut reference = base.clone();
+        reference.replace(ab.node(), base.pi(0)).unwrap();
+
+        let mut work = base.trial_copy();
+        let mut log = PatchLog::begin(&work);
+        work.replace_via(ab.node(), base.pi(0), fanouts.of(ab.node()), &mut log)
+            .unwrap();
+        for pattern in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(work.eval(&ins), reference.eval(&ins), "pattern {pattern}");
+        }
+        assert_eq!(log.rewired_nodes().count(), 1);
+        assert_eq!(log.rewired_outputs().count(), 1);
+
+        work.rollback(&mut log);
+        assert!(log.is_empty());
+        for pattern in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(work.eval(&ins), base.eval(&ins), "pattern {pattern}");
+        }
+        assert_eq!(work.n_nodes(), base.n_nodes());
+    }
+
+    #[test]
+    fn rollback_restores_after_appended_nodes_and_multiple_edits() {
+        let (base, ab, y) = sample();
+        let fanouts = Fanouts::build(&base);
+        let mut work = base.trial_copy();
+        let mut log = PatchLog::begin(&work);
+        // Build fresh replacement logic (strash is off) and rewire twice.
+        let fresh = {
+            let (a, c) = (work.pi(0), work.pi(2));
+            work.and(a, c)
+        };
+        work.replace_via(ab.node(), fresh, fanouts.of(ab.node()), &mut log)
+            .unwrap();
+        work.replace_via(y.node(), Lit::TRUE, fanouts.of(y.node()), &mut log)
+            .unwrap();
+        assert!(work.n_nodes() > base.n_nodes());
+        work.rollback(&mut log);
+        assert_eq!(work.n_nodes(), base.n_nodes());
+        for pattern in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(work.eval(&ins), base.eval(&ins));
+        }
+    }
+
+    #[test]
+    fn replace_via_rejects_cycles_like_replace() {
+        let (base, ab, y) = sample();
+        let fanouts = Fanouts::build(&base);
+        let mut work = base.trial_copy();
+        let mut log = PatchLog::begin(&work);
+        assert!(matches!(
+            work.replace_via(ab.node(), y, fanouts.of(ab.node()), &mut log),
+            Err(AigError::WouldCreateCycle { .. })
+        ));
+        assert!(log.is_empty(), "failed edits must not journal anything");
+        // Self-replacement: positive is a no-op, complemented is a cycle.
+        assert!(work
+            .replace_via(ab.node(), ab, fanouts.of(ab.node()), &mut log)
+            .is_ok());
+        assert!(work
+            .replace_via(ab.node(), !ab, fanouts.of(ab.node()), &mut log)
+            .is_err());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn compacted_n_ands_matches_compact() {
+        let (mut g, ab, _) = sample();
+        assert_eq!(
+            g.compacted_n_ands().unwrap(),
+            g.compact().unwrap().0.n_ands()
+        );
+        // After an edit that folds and strands logic, the counts must
+        // still agree — including the dedup of duplicate cones.
+        g.disable_strash();
+        let dup = {
+            let (a, b) = (g.pi(0), g.pi(1));
+            g.and(a, b) // duplicate of ab, built fresh
+        };
+        g.replace(ab.node(), dup).unwrap();
+        assert_eq!(
+            g.compacted_n_ands().unwrap(),
+            g.compact().unwrap().0.n_ands()
+        );
+        let mut h = g.clone();
+        h.replace(dup.node(), Lit::TRUE).unwrap();
+        assert_eq!(
+            h.compacted_n_ands().unwrap(),
+            h.compact().unwrap().0.n_ands()
+        );
+    }
+
+    #[test]
+    fn trial_copy_disables_strash() {
+        let (base, _, _) = sample();
+        let mut work = base.trial_copy();
+        let n0 = work.n_nodes();
+        let (a, b) = (work.pi(0), work.pi(1));
+        let fresh = work.and(a, b); // ab already exists; must not alias
+        assert_eq!(fresh.node().index(), n0);
+        assert_eq!(work.n_nodes(), n0 + 1);
+    }
+}

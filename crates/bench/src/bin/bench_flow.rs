@@ -1,0 +1,235 @@
+//! End-to-end flow benchmark: full `synthesize` wall-clock with the
+//! incremental trial-evaluation engine (`AccalsConfig::incremental_trials`)
+//! versus the full clone-and-resimulate trial path, on the same circuits,
+//! bounds, and thread pool.
+//!
+//! Both paths commit the identical circuit through the identical round
+//! sequence — the run asserts this before reporting — so the numbers
+//! compare two implementations of the same algorithm, not two algorithms.
+//! Std-only timing (`std::time::Instant`, median of repeats); results go
+//! to `BENCH_flow.json` in the working directory.
+//!
+//! Usage: `bench_flow [circuit[=bound] ...]` (default: mtp8 rca32 alu4
+//! at per-circuit default bounds), or `bench_flow --smoke` for a fast
+//! single-circuit sanity run that writes no file (used by
+//! `scripts/check_offline.sh`).
+
+use accals::{Accals, AccalsConfig, SynthesisResult};
+use aig::Aig;
+use errmetrics::MetricKind;
+use parkit::ThreadPool;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPEATS: usize = 3;
+
+/// Pool width for both paths: the machine's core count (capped) — an
+/// oversubscribed pool turns speculative races into pure overhead.
+fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
+}
+
+/// Metric and error bound per circuit, loose enough to sustain a
+/// multi-round run. The arithmetic circuits use NMED (the paper's
+/// metric for them); the control circuit uses ER.
+fn metric_for(name: &str) -> (MetricKind, f64) {
+    match name {
+        "mtp8" | "wal8" => (MetricKind::Nmed, 0.01),
+        "rca32" | "cla32" | "ksa32" => (MetricKind::Nmed, 0.02),
+        _ => (MetricKind::Er, 0.2),
+    }
+}
+
+fn run_flow(
+    golden: &Aig,
+    kind: MetricKind,
+    bound: f64,
+    incremental: bool,
+    pool: &'static ThreadPool,
+) -> SynthesisResult {
+    let mut cfg = AccalsConfig::new(kind, bound);
+    cfg.incremental_trials = incremental;
+    Accals::new(cfg).with_pool(pool).synthesize(golden)
+}
+
+/// Median wall time of `f` over `repeats` runs, in milliseconds.
+fn time_median<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times: Vec<f64> = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        last = Some(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// The two trial paths promise the identical committed circuit; a
+/// benchmark comparing divergent runs would be meaningless.
+fn check_identity(name: &str, full: &SynthesisResult, incr: &SynthesisResult) {
+    assert_eq!(
+        full.aig.n_ands(),
+        incr.aig.n_ands(),
+        "{name}: gate count diverged between trial paths"
+    );
+    assert_eq!(
+        full.error.to_bits(),
+        incr.error.to_bits(),
+        "{name}: final error diverged between trial paths"
+    );
+    assert_eq!(
+        full.rounds.len(),
+        incr.rounds.len(),
+        "{name}: round count diverged between trial paths"
+    );
+}
+
+struct FlowReport {
+    name: String,
+    kind: MetricKind,
+    bound: f64,
+    threads: usize,
+    initial_ands: usize,
+    final_ands: usize,
+    error: f64,
+    rounds: usize,
+    full_ms: f64,
+    incr_ms: f64,
+}
+
+impl FlowReport {
+    fn speedup(&self) -> f64 {
+        self.full_ms / self.incr_ms.max(1e-9)
+    }
+
+    fn rounds_per_sec(&self, ms: f64) -> f64 {
+        self.rounds as f64 / (ms / 1e3).max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::from("    {\n");
+        let _ = writeln!(s, "      \"circuit\": \"{}\",", self.name);
+        let _ = writeln!(s, "      \"metric\": \"{:?}\",", self.kind);
+        let _ = writeln!(s, "      \"error_bound\": {},", self.bound);
+        let _ = writeln!(s, "      \"threads\": {},", self.threads);
+        let _ = writeln!(s, "      \"initial_ands\": {},", self.initial_ands);
+        let _ = writeln!(s, "      \"final_ands\": {},", self.final_ands);
+        let _ = writeln!(s, "      \"error\": {:.6},", self.error);
+        let _ = writeln!(s, "      \"rounds\": {},", self.rounds);
+        let _ = writeln!(s, "      \"full_resim_ms\": {:.3},", self.full_ms);
+        let _ = writeln!(s, "      \"incremental_ms\": {:.3},", self.incr_ms);
+        let _ = writeln!(
+            s,
+            "      \"rounds_per_sec_full\": {:.2},",
+            self.rounds_per_sec(self.full_ms)
+        );
+        let _ = writeln!(
+            s,
+            "      \"rounds_per_sec_incremental\": {:.2},",
+            self.rounds_per_sec(self.incr_ms)
+        );
+        let _ = writeln!(s, "      \"speedup\": {:.2}", self.speedup());
+        s.push_str("    }");
+        s
+    }
+}
+
+fn bench_circuit(
+    name: &str,
+    golden: &Aig,
+    kind: MetricKind,
+    bound: f64,
+    repeats: usize,
+    pool: &'static ThreadPool,
+) -> FlowReport {
+    let (full_ms, full) = time_median(repeats, || run_flow(golden, kind, bound, false, pool));
+    let (incr_ms, incr) = time_median(repeats, || run_flow(golden, kind, bound, true, pool));
+    check_identity(name, &full, &incr);
+    FlowReport {
+        name: name.to_string(),
+        kind,
+        bound,
+        threads: pool.threads(),
+        initial_ands: full.initial_ands,
+        final_ands: full.aig.n_ands(),
+        error: full.error,
+        rounds: full.rounds.len(),
+        full_ms,
+        incr_ms,
+    }
+}
+
+fn print_report(r: &FlowReport) {
+    println!(
+        "{:>6} ({:?} <= {}): {} -> {} ANDs, {} rounds | full {:.1}ms ({:.1} rounds/s) | incremental {:.1}ms ({:.1} rounds/s) -> {:.2}x",
+        r.name,
+        r.kind,
+        r.bound,
+        r.initial_ands,
+        r.final_ands,
+        r.rounds,
+        r.full_ms,
+        r.rounds_per_sec(r.full_ms),
+        r.incr_ms,
+        r.rounds_per_sec(r.incr_ms),
+        r.speedup()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = pool_threads();
+    let pool: &'static ThreadPool = Box::leak(Box::new(ThreadPool::new(threads)));
+
+    if args.iter().any(|a| a == "--smoke") {
+        // One tiny circuit, one repeat, identity still asserted; no file.
+        let golden = benchgen::multipliers::array_multiplier(4);
+        let r = bench_circuit("mtp4", &golden, MetricKind::Nmed, 0.005, 1, pool);
+        print_report(&r);
+        println!("smoke ok");
+        return;
+    }
+
+    let circuits: Vec<(String, Option<f64>)> = if args.is_empty() {
+        ["mtp8", "rca32", "alu4"]
+            .iter()
+            .map(|n| (n.to_string(), None))
+            .collect()
+    } else {
+        args.iter()
+            .map(|a| match a.split_once('=') {
+                Some((n, b)) => (
+                    n.to_string(),
+                    Some(b.parse().expect("bound must be a number")),
+                ),
+                None => (a.clone(), None),
+            })
+            .collect()
+    };
+
+    println!(
+        "bench_flow: end-to-end synthesize, {REPEATS} repeats, {threads} threads ({} cores visible)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    let mut reports = Vec::new();
+    for (name, bound) in &circuits {
+        let golden = benchgen::suite::by_name(name).expect("known suite circuit");
+        let (kind, default_bound) = metric_for(name);
+        let bound = bound.unwrap_or(default_bound);
+        let r = bench_circuit(name, &golden, kind, bound, REPEATS, pool);
+        print_report(&r);
+        reports.push(r);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"flow\",\n  \"circuits\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&r.to_json());
+        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_flow.json", &json).expect("write BENCH_flow.json");
+    println!("wrote BENCH_flow.json");
+}

@@ -53,17 +53,16 @@ pub fn cla(width: usize, block: usize) -> Aig {
         for i in blk_start..blk_end {
             // c_{i+1} = g_i | g_{i-1} p_i | ... | c_in * p_{blk..i}
             let mut terms: Vec<Lit> = Vec::new();
-            for j in blk_start..=i {
-                let ps: Vec<Lit> = (j + 1..=i).map(|k| p[k]).collect();
-                let mut t = gen[j];
-                for &pk in &ps {
+            for (j, &gj) in gen.iter().enumerate().take(i + 1).skip(blk_start) {
+                let mut t = gj;
+                for &pk in &p[j + 1..=i] {
                     t = g.and(t, pk);
                 }
                 terms.push(t);
             }
             let mut cin_term = carry;
-            for k in blk_start..=i {
-                cin_term = g.and(cin_term, p[k]);
+            for &pk in &p[blk_start..=i] {
+                cin_term = g.and(cin_term, pk);
             }
             terms.push(cin_term);
             carries.push(g.or_many(&terms));

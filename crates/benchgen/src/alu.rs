@@ -43,10 +43,10 @@ pub fn alu(width: usize, n_ops: usize) -> Aig {
         .chain(std::iter::repeat(vec![Lit::FALSE; width]))
         .take(1 << op_bits)
         .collect();
-    for bit in 0..op_bits {
+    for &sel in op.iter().take(op_bits) {
         let mut next = Vec::with_capacity(layer.len() / 2);
         for pair in layer.chunks(2) {
-            next.push(mux_word(&mut g, op[bit], &pair[1], &pair[0]));
+            next.push(mux_word(&mut g, sel, &pair[1], &pair[0]));
         }
         layer = next;
     }
@@ -75,7 +75,7 @@ pub fn alu_with_parity(width: usize, n_ops: usize) -> Aig {
 pub fn alu_model(width: usize, a: u128, b: u128, op: usize) -> (u128, bool, bool) {
     let mask = (1u128 << width) - 1;
     let (a, b) = (a & mask, b & mask);
-    let (result, carry_add) = (a + b & mask, a + b > mask);
+    let (result, carry_add) = ((a + b) & mask, a + b > mask);
     let borrow = a < b;
     let value = match op {
         0 => result,

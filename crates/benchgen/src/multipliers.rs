@@ -135,7 +135,7 @@ pub fn dadda_multiplier(width: usize) -> Aig {
         let mut next = vec![Vec::new(); columns.len()];
         for c in 0..columns.len() {
             let mut col: Vec<Lit> = std::mem::take(&mut columns[c]);
-            col.extend(next[c].drain(..));
+            col.append(&mut next[c]);
             // Reduce just enough to reach the target height.
             while col.len() > target {
                 if col.len() == target + 1 {
@@ -192,7 +192,14 @@ mod tests {
                 .collect()
         } else {
             let m = (1u128 << width) - 1;
-            vec![(0, 0), (1, m), (m, m), (m / 3, 5), (0xA5 & m, 0x5A & m), (m, 2)]
+            vec![
+                (0, 0),
+                (1, m),
+                (m, m),
+                (m / 3, 5),
+                (0xA5 & m, 0x5A & m),
+                (m, 2),
+            ]
         };
         for (x, y) in cases {
             let mut ins = encode(x, width);

@@ -43,6 +43,11 @@ impl ConeTopology {
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
     }
+
+    /// Topological position of each node, indexed by node id.
+    pub fn topo_pos(&self) -> &[u32] {
+        &self.topo_pos
+    }
 }
 
 /// Incremental re-simulation of the transitive-fanout cone of a single
@@ -122,7 +127,13 @@ impl ConeSimulator {
     ///
     /// Panics if the simulator was built for a different graph shape or
     /// if `forced.len() != sim.stride()`.
-    pub fn output_flips(&mut self, aig: &Aig, sim: &Sim, n: NodeId, forced: &[u64]) -> Vec<Vec<u64>> {
+    pub fn output_flips(
+        &mut self,
+        aig: &Aig,
+        sim: &Sim,
+        n: NodeId,
+        forced: &[u64],
+    ) -> Vec<Vec<u64>> {
         let stride = sim.stride();
         assert_eq!(self.topo.n_nodes, aig.n_nodes(), "simulator is stale");
         assert_eq!(forced.len(), stride);

@@ -25,10 +25,12 @@
 //! ```
 
 mod cone;
+mod patch;
 mod patterns;
 mod sim;
 
 pub use cone::{ConeSimulator, ConeTopology};
+pub use patch::PatchSimulator;
 pub use patterns::Patterns;
 pub use sim::{simulate, Sim};
 

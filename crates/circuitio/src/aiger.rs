@@ -43,9 +43,7 @@ pub fn write_ascii(aig: &Aig) -> String {
 /// references.
 pub fn read_ascii(text: &str) -> Result<Aig, ParseError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ParseError::new("empty input"))?;
+    let (_, header) = lines.next().ok_or_else(|| ParseError::new("empty input"))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 6 || fields[0] != "aag" {
         return Err(ParseError::at("expected `aag M I L O A` header", 1));
@@ -81,8 +79,11 @@ pub fn read_ascii(text: &str) -> Result<Aig, ParseError> {
     for k in 0..i {
         let (line, s) = next("an input literal")?;
         let lit: usize = parse(s.trim(), line)?;
-        if lit % 2 != 0 || lit == 0 {
-            return Err(ParseError::at("input literal must be even and nonzero", line));
+        if !lit.is_multiple_of(2) || lit == 0 {
+            return Err(ParseError::at(
+                "input literal must be even and nonzero",
+                line,
+            ));
         }
         let var = lit / 2;
         if var > m || var_map[var].is_some() {
@@ -109,7 +110,10 @@ pub fn read_ascii(text: &str) -> Result<Aig, ParseError> {
         }
         let var = lhs / 2;
         if var > m || var_map[var].is_some() {
-            return Err(ParseError::at("AND variable redefined or out of range", line));
+            return Err(ParseError::at(
+                "AND variable redefined or out of range",
+                line,
+            ));
         }
         let lookup = |raw: usize| -> Result<Lit, ParseError> {
             let v = raw / 2;
@@ -313,4 +317,3 @@ fn read_leb(bytes: &[u8], pos: &mut usize) -> Result<u32, ParseError> {
         }
     }
 }
-

@@ -32,6 +32,11 @@ pub struct ErrorEval {
     contrib: Vec<f64>,
     cur_sum: f64,
     cur_max: f64,
+    /// Per-chunk contribution sums in chunk order (arithmetic metrics
+    /// only) — the partials of the canonical fold behind `cur_sum`, kept
+    /// so [`ErrorEval::measured_with_flips_words`] can replay only the
+    /// chunks a sparse flip set touches.
+    chunk_sums: Vec<f64>,
     // ER-only per-word union of the output diffs and its popcounts, so
     // sparse candidate scoring can rescore just the deviating words.
     er_words: Vec<u64>,
@@ -85,6 +90,7 @@ impl ErrorEval {
             contrib: vec![0.0; if arith { n_patterns } else { 0 }],
             cur_sum: 0.0,
             cur_max: 0.0,
+            chunk_sums: Vec::new(),
             golden: golden.iter().map(|s| s[..stride].to_vec()).collect(),
             golden_vals,
             er_words: Vec::new(),
@@ -124,8 +130,12 @@ impl ErrorEval {
         assert_eq!(approx.len(), self.n_outputs, "output count mismatch");
         for (o, sig) in approx.iter().enumerate() {
             assert!(sig.len() >= self.stride, "signature too short");
-            for w in 0..self.stride {
-                self.diff[o][w] = self.golden[o][w] ^ sig[w];
+            let golden = &self.golden[o];
+            for (d, (&g, &s)) in self.diff[o][..self.stride]
+                .iter_mut()
+                .zip(golden.iter().zip(sig))
+            {
+                *d = g ^ s;
             }
         }
         if self.kind.is_arithmetic() {
@@ -164,7 +174,9 @@ impl ErrorEval {
         });
         self.cur_sum = 0.0;
         self.cur_max = 0.0;
+        self.chunk_sums.clear();
         for (s, m) in partials {
+            self.chunk_sums.push(s);
             self.cur_sum += s;
             self.cur_max = self.cur_max.max(m);
         }
@@ -190,8 +202,8 @@ impl ErrorEval {
             for (i, slot) in slice.iter_mut().enumerate() {
                 let w = base + i;
                 let mut acc = 0u64;
-                for o in 0..n_outputs {
-                    acc |= diff[o][w];
+                for row in diff.iter().take(n_outputs) {
+                    acc |= row[w];
                 }
                 *slot = acc;
             }
@@ -243,8 +255,8 @@ impl ErrorEval {
                 let mut count = 0usize;
                 for w in 0..self.stride {
                     let mut acc = 0u64;
-                    for o in 0..self.n_outputs {
-                        acc |= self.diff[o][w] ^ flips[o][w];
+                    for (d, f) in self.diff.iter().zip(flips) {
+                        acc |= d[w] ^ f[w];
                     }
                     count += (acc & self.word_mask(w)).count_ones() as usize;
                 }
@@ -262,8 +274,8 @@ impl ErrorEval {
                 let mut sum = self.cur_sum;
                 for w in 0..self.stride {
                     let mut union = 0u64;
-                    for o in 0..self.n_outputs {
-                        union |= flips[o][w];
+                    for f in flips {
+                        union |= f[w];
                     }
                     union &= self.word_mask(w);
                     while union != 0 {
@@ -301,11 +313,11 @@ impl ErrorEval {
                 for &w in words {
                     let w = w as usize;
                     let mut acc = 0u64;
-                    for o in 0..self.n_outputs {
-                        acc |= self.diff[o][w] ^ flips[o][w];
+                    for (d, f) in self.diff.iter().zip(flips) {
+                        acc |= d[w] ^ f[w];
                     }
-                    count += (acc & self.word_mask(w)).count_ones() as i64
-                        - self.er_word_pops[w] as i64;
+                    count +=
+                        (acc & self.word_mask(w)).count_ones() as i64 - self.er_word_pops[w] as i64;
                 }
                 count as f64 / self.n_patterns as f64
             }
@@ -368,6 +380,78 @@ impl ErrorEval {
                         let val = self.cur_vals[p] ^ self.toggle_bits(flips, p);
                         sum += self.pattern_contrib(val, self.golden_vals[p]) - self.contrib[p];
                     }
+                }
+                self.finalize(sum, 0.0)
+            }
+        }
+    }
+
+    /// Like [`ErrorEval::with_flips_words`], but **bit-identical to a
+    /// fresh rebase**: the returned value equals, bit for bit, what
+    /// [`ErrorEval::current`] would report after `rebase` on the flipped
+    /// signatures. `with_flips_words` is exact for ER (integer
+    /// popcounts) and WCE (order-free max) but scores the mean metrics
+    /// as `cur_sum + Σ deltas`, whose rounding differs from the
+    /// canonical chunked fold; this method instead replays the fold —
+    /// chunks without flipped patterns reuse their stored partial sum,
+    /// touched chunks re-accumulate per pattern in the same serial
+    /// order. Cost stays proportional to the flipped region.
+    ///
+    /// This is the measurement contract of the incremental trial
+    /// evaluator: a trial's error must equal the committed circuit's
+    /// measured error exactly, not just approximately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flips` has the wrong shape. `words` must list, in
+    /// ascending order, every word where some flip row is non-zero.
+    pub fn measured_with_flips_words(&self, words: &[u32], flips: &[Vec<u64>]) -> f64 {
+        match self.kind {
+            MetricKind::Er | MetricKind::Wce => self.with_flips_words(words, flips),
+            _ => {
+                assert_eq!(flips.len(), self.n_outputs, "output count mismatch");
+                debug_assert!(words.windows(2).all(|p| p[0] < p[1]), "words must ascend");
+                // PAT_CHUNK is a multiple of 64, so chunk boundaries
+                // align with word boundaries.
+                let words_per_chunk = PAT_CHUNK / 64;
+                let n_chunks = self.n_patterns.div_ceil(PAT_CHUNK);
+                let mut sum = 0.0f64;
+                let mut wi = 0usize;
+                for c in 0..n_chunks {
+                    let w_end = ((c + 1) * words_per_chunk) as u32;
+                    let chunk_wi = wi;
+                    while wi < words.len() && words[wi] < w_end {
+                        wi += 1;
+                    }
+                    if wi == chunk_wi {
+                        sum += self.chunk_sums[c];
+                        continue;
+                    }
+                    // Replay the touched chunk pattern by pattern, in
+                    // the same order the canonical fold accumulated it.
+                    let p_end = ((c + 1) * PAT_CHUNK).min(self.n_patterns);
+                    let mut csum = 0.0f64;
+                    let mut fw = chunk_wi;
+                    for w in c * words_per_chunk..p_end.div_ceil(64) {
+                        let mut union = 0u64;
+                        if fw < wi && words[fw] as usize == w {
+                            for f in flips {
+                                union |= f[w];
+                            }
+                            union &= self.word_mask(w);
+                            fw += 1;
+                        }
+                        for b in 0..(p_end - w * 64).min(64) {
+                            let p = w * 64 + b;
+                            csum += if union >> b & 1 == 1 {
+                                let val = self.cur_vals[p] ^ self.toggle_bits(flips, p);
+                                self.pattern_contrib(val, self.golden_vals[p])
+                            } else {
+                                self.contrib[p]
+                            };
+                        }
+                    }
+                    sum += csum;
                 }
                 self.finalize(sum, 0.0)
             }
@@ -566,6 +650,60 @@ mod tests {
                 (predicted - e2.current()).abs() < 1e-12,
                 "{kind}: {predicted} vs {}",
                 e2.current()
+            );
+        }
+    }
+
+    #[test]
+    fn measured_with_flips_words_is_bit_identical_to_rebase() {
+        // Multiple PAT_CHUNK chunks with a ragged tail, pseudo-random
+        // signatures, and a sparse flip set touching a few words across
+        // different chunks (including the tail word).
+        let n_patterns = 10_000usize;
+        let stride = n_patterns.div_ceil(64);
+        let n_outputs = 3;
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state ^ state >> 29
+        };
+        let golden: Vec<Vec<u64>> = (0..n_outputs)
+            .map(|_| (0..stride).map(|_| next()).collect())
+            .collect();
+        let approx: Vec<Vec<u64>> = golden
+            .iter()
+            .map(|s| s.iter().map(|w| w ^ (next() & next())).collect())
+            .collect();
+        let flip_words = [3usize, 64, 65, 130, stride - 1];
+        let mut flips = vec![vec![0u64; stride]; n_outputs];
+        for &w in &flip_words {
+            for f in flips.iter_mut() {
+                f[w] = next() & next() & next();
+            }
+        }
+        let words: Vec<u32> = flip_words.iter().map(|&w| w as u32).collect();
+        let flipped: Vec<Vec<u64>> = approx
+            .iter()
+            .zip(&flips)
+            .map(|(s, f)| s.iter().zip(f).map(|(a, b)| a ^ b).collect())
+            .collect();
+        let zero = vec![vec![0u64; stride]; n_outputs];
+        for kind in MetricKind::ALL {
+            let mut e = ErrorEval::new(kind, &golden, n_patterns);
+            e.rebase(&approx);
+            let mut e2 = ErrorEval::new(kind, &golden, n_patterns);
+            e2.rebase(&flipped);
+            assert_eq!(
+                e.measured_with_flips_words(&words, &flips).to_bits(),
+                e2.current().to_bits(),
+                "{kind}"
+            );
+            assert_eq!(
+                e.measured_with_flips_words(&[], &zero).to_bits(),
+                e.current().to_bits(),
+                "{kind} with no flips"
             );
         }
     }

@@ -57,12 +57,7 @@ use bitsim::{simulate, Patterns, Sim};
 ///
 /// Panics if the two signature sets disagree in output count or width,
 /// or if an arithmetic metric is requested for more than 128 outputs.
-pub fn error(
-    kind: MetricKind,
-    golden: &[Vec<u64>],
-    approx: &[Vec<u64>],
-    n_patterns: usize,
-) -> f64 {
+pub fn error(kind: MetricKind, golden: &[Vec<u64>], approx: &[Vec<u64>], n_patterns: usize) -> f64 {
     let mut eval = ErrorEval::new(kind, golden, n_patterns);
     eval.rebase(approx);
     eval.current()

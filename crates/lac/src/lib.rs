@@ -37,7 +37,7 @@ mod kinds;
 pub use gen::{generate_candidates, CandidateConfig};
 pub use kinds::{Lac, LacKind};
 
-use aig::{Aig, AigError, Lit, NodeId};
+use aig::{Aig, AigError, Fanouts, Lit, NodeId, PatchLog};
 use std::fmt;
 
 /// A LAC annotated with its estimated error increase and area gain, as
@@ -182,12 +182,13 @@ pub fn apply(aig: &mut Aig, lac: &Lac) -> Result<(), ApplyError> {
     let lit = replacement_lit(aig, lac);
     match aig.replace(lac.tn, lit) {
         Ok(()) => Ok(()),
-        Err(AigError::WouldCreateCycle { .. }) if lit.node() != lac.tn => {
+        Err(AigError::WouldCreateCycle { .. }) => {
             // The replacement cone may have strash-collided with the
-            // target itself (e.g. a minterm of a resubstitution equals
-            // the target gate). Rebuild with fresh nodes; a genuine
-            // cycle (substitute inside the target's fanout) is still
-            // rejected below.
+            // target itself or its fanout (e.g. a minterm of a
+            // resubstitution equals the target gate, possibly
+            // complemented). Rebuild with fresh nodes; a genuine cycle
+            // (substitute inside the target's fanout) is still rejected
+            // below.
             aig.disable_strash();
             let fresh = replacement_lit(aig, lac);
             aig.replace(lac.tn, fresh)?;
@@ -195,6 +196,41 @@ pub fn apply(aig: &mut Aig, lac: &Lac) -> Result<(), ApplyError> {
         }
         Err(e) => Err(e.into()),
     }
+}
+
+/// [`apply`] against a journaled working copy (see [`aig::Aig::trial_copy`]
+/// and [`aig::Aig::replace_via`]): only the target's known consumers are
+/// rewired and every overwritten entry lands in `log`, so the edit can
+/// be rolled back without re-cloning the graph.
+///
+/// `fanouts` must be the fanout index of the graph the working copy was
+/// taken from; for any conflict-free batch it remains the exact consumer
+/// set of every target throughout the batch (no edit ever rewires an
+/// edge onto a target). The replacement cone is always built from fresh
+/// nodes (the copy has structural hashing off), which matches the
+/// rebuild fallback of the committed path — same applied/dropped
+/// verdicts, same values, same post-compaction gate count.
+///
+/// # Errors
+///
+/// Same contract as [`apply`].
+pub fn apply_trial(
+    aig: &mut Aig,
+    lac: &Lac,
+    fanouts: &Fanouts,
+    log: &mut PatchLog,
+) -> Result<(), ApplyError> {
+    if lac.tn.index() >= aig.n_nodes() {
+        return Err(ApplyError::OutOfRange(lac.tn));
+    }
+    for sn in lac.sns() {
+        if sn.index() >= aig.n_nodes() {
+            return Err(ApplyError::OutOfRange(sn));
+        }
+    }
+    let lit = replacement_lit(aig, lac);
+    aig.replace_via(lac.tn, lit, fanouts.of(lac.tn), log)
+        .map_err(ApplyError::from)
 }
 
 /// Statistics from [`apply_all`].
@@ -231,6 +267,39 @@ pub fn apply_all(aig: &mut Aig, lacs: &[Lac]) -> ApplyReport {
     let mut report = ApplyReport::default();
     for lac in sorted {
         match apply(aig, lac) {
+            Ok(()) => report.applied += 1,
+            Err(ApplyError::Cycle(_)) => report.dropped_cycle += 1,
+            Err(e) => panic!("invalid LAC in conflict-free batch: {e}"),
+        }
+    }
+    report
+}
+
+/// [`apply_all`] against a journaled working copy: applies the batch in
+/// ascending base topological order of the targets, skipping (and
+/// counting) cycle rejections, journaling everything into `log`.
+///
+/// `topo_pos` and `fanouts` describe the graph the working copy was
+/// taken from; batch members are ordered exactly as [`apply_all`] orders
+/// them, so both paths drop the same LACs.
+///
+/// # Panics
+///
+/// Panics if a LAC is structurally invalid (bad target or out-of-range
+/// node).
+pub fn apply_all_trial(
+    aig: &mut Aig,
+    lacs: &[Lac],
+    topo_pos: &[u32],
+    fanouts: &Fanouts,
+    log: &mut PatchLog,
+) -> ApplyReport {
+    let mut sorted: Vec<&Lac> = lacs.iter().collect();
+    sorted.sort_by_key(|l| topo_pos[l.tn.index()]);
+
+    let mut report = ApplyReport::default();
+    for lac in sorted {
+        match apply_trial(aig, lac, fanouts, log) {
             Ok(()) => report.applied += 1,
             Err(ApplyError::Cycle(_)) => report.dropped_cycle += 1,
             Err(e) => panic!("invalid LAC in conflict-free batch: {e}"),
@@ -367,6 +436,88 @@ mod tests {
         let report = apply_all(&mut g, &lacs);
         assert_eq!(report.applied, 2);
         assert_eq!(report.dropped_cycle, 0);
+    }
+
+    #[test]
+    fn trial_apply_matches_committed_apply_and_rolls_back() {
+        let (g, ab, y) = sample();
+        let a = g.pi(0).node();
+        let lacs = vec![
+            Lac::new(
+                ab,
+                LacKind::Binary {
+                    sns: [a, g.pi(2).node()],
+                    tt: 0b0110, // xor
+                },
+            ),
+            Lac::new(y, LacKind::Wire { sn: a, neg: true }),
+        ];
+
+        let mut committed = g.clone();
+        let want = apply_all(&mut committed, &lacs);
+
+        let fanouts = Fanouts::build(&g);
+        let order = g.topo_order().unwrap();
+        let mut pos = vec![0u32; g.n_nodes()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i as u32;
+        }
+        let mut work = g.trial_copy();
+        let mut log = PatchLog::begin(&work);
+        let got = apply_all_trial(&mut work, &lacs, &pos, &fanouts, &mut log);
+        assert_eq!(got, want);
+        for pattern in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(work.eval(&ins), committed.eval(&ins), "pattern {pattern}");
+        }
+        assert_eq!(
+            work.compacted_n_ands().unwrap(),
+            committed.compact().unwrap().0.n_ands()
+        );
+
+        work.rollback(&mut log);
+        for pattern in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(work.eval(&ins), g.eval(&ins), "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn trial_apply_rejects_cycles_like_apply() {
+        let (g, ab, y) = sample();
+        let fanouts = Fanouts::build(&g);
+        let mut work = g.trial_copy();
+        let mut log = PatchLog::begin(&work);
+        let err = apply_trial(
+            &mut work,
+            &Lac::new(ab, LacKind::Wire { sn: y, neg: false }),
+            &fanouts,
+            &mut log,
+        );
+        assert_eq!(err, Err(ApplyError::Cycle(ab)));
+    }
+
+    #[test]
+    fn complemented_self_alias_rebuilds_fresh() {
+        // A NAND resubstitution over the target's own fanins builds, in
+        // the strash phase, exactly the complemented target literal;
+        // that is not a genuine cycle and must apply.
+        let (mut g, ab, _) = sample();
+        let (pa, pb) = (g.pi(0).node(), g.pi(1).node());
+        apply(
+            &mut g,
+            &Lac::new(
+                ab,
+                LacKind::Binary {
+                    sns: [pa, pb],
+                    tt: 0b0111, // nand
+                },
+            ),
+        )
+        .unwrap();
+        // y = !(a & b) & c.
+        assert_eq!(g.eval(&[true, true, true]), vec![false]);
+        assert_eq!(g.eval(&[false, true, true]), vec![true]);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use greedy::greedy_min_degree;
 pub use local::local_search;
 
 /// Which MIS algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MisStrategy {
     /// Greedy minimum-degree construction only.
     Greedy,
@@ -50,13 +50,8 @@ pub enum MisStrategy {
     Exact,
     /// Exact for graphs of at most 40 vertices, local search otherwise.
     /// This is the default used by the AccALS flow.
+    #[default]
     Auto,
-}
-
-impl Default for MisStrategy {
-    fn default() -> Self {
-        MisStrategy::Auto
-    }
 }
 
 /// Computes an independent set of `graph` that is as large as the chosen

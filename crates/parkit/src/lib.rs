@@ -167,7 +167,11 @@ impl ThreadPool {
         let mine = panic::catch_unwind(AssertUnwindSafe(work));
         let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
         while slot.remaining > 0 {
-            slot = self.shared.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
         }
         slot.job = None;
         let worker_panic = slot.panic.take();
@@ -229,7 +233,7 @@ impl ThreadPool {
     {
         let n = items.len();
         let chunk = chunk_size.max(1);
-        let nchunks = n.div_ceil(chunk.max(1)).max(0);
+        let nchunks = n.div_ceil(chunk.max(1));
         if self.threads <= 1 || nchunks <= 1 {
             for (c, s) in items.chunks_mut(chunk).enumerate() {
                 f(c, s);

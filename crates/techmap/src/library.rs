@@ -325,8 +325,8 @@ fn remap_tt(cell_tt: u16, k: usize, perm: &[u8; 4], neg_mask: u8) -> u16 {
     for leaf_assign in 0..1u16 << k {
         // Build the cell-input assignment this leaf assignment induces.
         let mut cell_assign = 0u16;
-        for i in 0..k {
-            let leaf = perm[i] as usize;
+        for (i, &pi) in perm.iter().enumerate().take(k) {
+            let leaf = pi as usize;
             let mut v = leaf_assign >> leaf & 1 == 1;
             if neg_mask >> i & 1 == 1 {
                 v = !v;

@@ -48,7 +48,7 @@ pub fn map(aig: &Aig, lib: &Library, mode: MapMode) -> Mapping {
             if cut.leaves == [id] || cut.leaves.contains(&NodeId::CONST0) {
                 continue;
             }
-            let Some(&m) = table.lookup(cut.leaves.len(), cut.tt).as_deref() else {
+            let Some(&m) = table.lookup(cut.leaves.len(), cut.tt) else {
                 continue;
             };
             let mut area_flow = m.area;
@@ -92,8 +92,7 @@ pub fn map(aig: &Aig, lib: &Library, mode: MapMode) -> Mapping {
                 chosen = Some(cand);
             }
         }
-        best[id.index()] =
-            Some(chosen.unwrap_or_else(|| panic!("node {id} has no matchable cut")));
+        best[id.index()] = Some(chosen.unwrap_or_else(|| panic!("node {id} has no matchable cut")));
     }
 
     // Cover extraction: which nodes are actually instantiated.
@@ -130,9 +129,7 @@ pub fn map(aig: &Aig, lib: &Library, mode: MapMode) -> Mapping {
     };
     // PIs occupy nets 0..n_inputs; record their node -> net mapping.
     for i in 0..n_inputs {
-        builder
-            .node_net
-            .insert(NodeId::new(1 + i), i);
+        builder.node_net.insert(NodeId::new(1 + i), i);
     }
     for &id in &order {
         if !required[id.index()] {
@@ -221,7 +218,11 @@ impl Builder<'_> {
     }
 
     fn tie(&mut self, value: bool) -> usize {
-        let cell = if value { self.lib.tie1() } else { self.lib.tie0() };
+        let cell = if value {
+            self.lib.tie1()
+        } else {
+            self.lib.tie0()
+        };
         // TIE cells formally have one (ignored) input; feed net 0 if it
         // exists, else create a dangling net.
         let dummy = if self.n_nets > 0 { 0 } else { self.new_net() };
@@ -314,11 +315,7 @@ mod tests {
         let g = benchgen::adders::rca(4);
         let lib = Library::mcnc_mini();
         let m = map(&g, &lib, MapMode::Area);
-        let sum: f64 = m
-            .gates()
-            .iter()
-            .map(|gate| m.cell_of(gate).area)
-            .sum();
+        let sum: f64 = m.gates().iter().map(|gate| m.cell_of(gate).area).sum();
         assert!((sum - m.area).abs() < 1e-9);
         assert!(m.n_gates() > 0);
     }

@@ -21,4 +21,17 @@ if [ "$QUICK" -eq 0 ]; then
     cargo test -q --workspace --offline
 fi
 
+# Lint the crates the trial-evaluation stack touches. Gated on clippy
+# being installed so a bare-toolchain checkout still passes tier-1.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== lint (offline): cargo clippy -D warnings =="
+    cargo clippy --offline -p aig -p bitsim -p errmetrics -p lac \
+        -p accals -p accals-bench -- -D warnings
+else
+    echo "== lint: cargo clippy not installed, skipping =="
+fi
+
+echo "== bench smoke (offline): bench_flow --smoke =="
+cargo run --release --offline -p accals-bench --bin bench_flow -- --smoke
+
 echo "check_offline: OK"
