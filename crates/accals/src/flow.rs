@@ -19,6 +19,11 @@ use std::time::{Duration, Instant};
 /// its measured error, the apply report, and the cleanup remap.
 type PickedEdit = (ScoredLac, Aig, f64, ApplyReport, Vec<Option<Lit>>);
 
+/// Milliseconds of a duration, for the per-phase round timings.
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
 /// The AccALS synthesis engine. Construct with a configuration, then
 /// call [`Accals::synthesize`].
 #[derive(Debug, Clone)]
@@ -66,10 +71,27 @@ impl SynthesisResult {
         self.rounds.iter().map(|r| r.applied).sum()
     }
 
+    /// Per-phase wall-clock summed across rounds, in milliseconds:
+    /// `[candgen, mask, score, select, trial, commit]`.
+    pub fn phase_totals_ms(&self) -> [f64; 6] {
+        let mut t = [0.0; 6];
+        for r in &self.rounds {
+            t[0] += r.candgen_ms;
+            t[1] += r.mask_ms;
+            t[2] += r.score_ms;
+            t[3] += r.select_ms;
+            t[4] += r.trial_ms;
+            t[5] += r.commit_ms;
+        }
+        t
+    }
+
     /// A one-paragraph human-readable summary of the run.
     pub fn summary(&self) -> String {
+        let p = self.phase_totals_ms();
         format!(
-            "{}: {} -> {} AND gates ({:.1}%), error {:.6}, {} LACs over {} rounds in {:.2?}{}",
+            "{}: {} -> {} AND gates ({:.1}%), error {:.6}, {} LACs over {} rounds in {:.2?} \
+             (phase ms: candgen {:.0}, mask {:.0}, score {:.0}, select {:.0}, trial {:.0}, commit {:.0}){}",
             self.aig.name(),
             self.initial_ands,
             self.aig.n_ands(),
@@ -78,6 +100,12 @@ impl SynthesisResult {
             self.total_applied(),
             self.rounds.len(),
             self.runtime,
+            p[0],
+            p[1],
+            p[2],
+            p[3],
+            p[4],
+            p[5],
             match self.lindp_ratio() {
                 Some(r) => format!(", L_indp ratio {r:.2}"),
                 None => String::new(),
@@ -89,11 +117,11 @@ impl SynthesisResult {
     /// round), for offline analysis of a synthesis run.
     pub fn trace_csv(&self) -> String {
         let mut s = String::from(
-            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after\n",
+            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after,candgen_ms,mask_ms,score_ms,select_ms,trial_ms,commit_ms\n",
         );
         for t in &self.rounds {
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
                 t.round,
                 t.single_mode,
                 t.n_candidates,
@@ -108,7 +136,13 @@ impl SynthesisResult {
                 t.e_before,
                 t.e_after,
                 t.e_est,
-                t.n_ands_after
+                t.n_ands_after,
+                t.candgen_ms,
+                t.mask_ms,
+                t.score_ms,
+                t.select_ms,
+                t.trial_ms,
+                t.commit_ms
             ));
         }
         s
@@ -187,12 +221,28 @@ impl Accals {
         // node remapping of the accepted edit so the cache can tell
         // which fanout cones the round actually dirtied.
         let mut mask_cache = MaskCache::new();
+        // The candidate store survives across rounds under the same
+        // remap contract as the mask cache: a node regenerates only if
+        // its generation inputs changed.
+        let mut cand_store = lac::CandidateStore::new();
         let mut last_remap: Option<Vec<Option<Lit>>> = None;
 
         for round in 0..cfg.max_rounds {
             let sim = simulate(&current, pats);
             eval.rebase(&sim.output_sigs(&current));
-            let cands = lac::generate_candidates(&current, &sim, &cfg.candidates);
+            let t_candgen = Instant::now();
+            let cands = if cfg.incremental_candgen {
+                cand_store.generate(
+                    &current,
+                    &sim,
+                    &cfg.candidates,
+                    last_remap.as_deref(),
+                    self.pool,
+                )
+            } else {
+                lac::generate_candidates(&current, &sim, &cfg.candidates)
+            };
+            let candgen_ms = ms(t_candgen.elapsed());
             if cands.is_empty() {
                 break;
             }
@@ -202,8 +252,14 @@ impl Accals {
                 &eval,
                 &mut mask_cache,
                 last_remap.as_deref(),
-            );
-            let mut scored = estimator.score_all(&cands);
+            )
+            .use_pool(self.pool);
+            let mut scored = if cfg.incremental_candgen {
+                estimator.score_all_cached(&cands, &cand_store.devs())
+            } else {
+                estimator.score_all(&cands)
+            };
+            let phases = estimator.phases();
             // A LAC must reduce hardware cost; changes that cost more
             // nodes than their MFFC frees are not LACs at all.
             scored.retain(|s| s.gain > 0);
@@ -246,6 +302,9 @@ impl Accals {
                 }
             };
             t.round = round;
+            t.candgen_ms = candgen_ms;
+            t.mask_ms = phases.mask_ms;
+            t.score_ms = phases.score_ms;
             let e_after = t.e_after;
             let applied = t.applied;
             let shrunk = next.n_ands() < current.n_ands();
@@ -368,6 +427,7 @@ impl Accals {
         e: f64,
     ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
         let n_candidates = scored.len();
+        let t_select = Instant::now();
         let mut top = scored;
         top.sort_by(|a, b| {
             a.delta_e
@@ -377,13 +437,20 @@ impl Accals {
                 .then(a.lac.tn.cmp(&b.lac.tn))
         });
         top.truncate(64);
+        let select_ms = ms(t_select.elapsed());
+        let trial_ms;
+        let mut commit_ms = 0.0;
         // Try candidates in order until one makes progress (area shrinks,
         // or the error moves at equal area — never area growth, which
         // would let the flow cycle). A candidate that overshoots the
         // bound is terminal: Algorithm 1 stops there.
         let picked = if self.cfg.incremental_trials {
-            let (i, m) = self.pick_single_trial(current, sim, eval, &top, e)?;
+            let t_trial = Instant::now();
+            let picked = self.pick_single_trial(current, sim, eval, &top, e);
+            trial_ms = ms(t_trial.elapsed());
+            let (i, m) = picked?;
             let best = top.swap_remove(i);
+            let t_commit = Instant::now();
             let (next, report, remap) = self.commit_measured(
                 current,
                 std::slice::from_ref(&best),
@@ -391,8 +458,10 @@ impl Accals {
                 golden_sigs,
                 pats,
             );
+            commit_ms = ms(t_commit.elapsed());
             Some((best, next, m.e_after, report, remap))
         } else {
+            let t_trial = Instant::now();
             let mut last: Option<PickedEdit> = None;
             for best in top {
                 let (next, e_after, report, remap) =
@@ -406,6 +475,7 @@ impl Accals {
                     break;
                 }
             }
+            trial_ms = ms(t_trial.elapsed());
             last
         };
         let (best, next, e_after, report, remap) = picked?;
@@ -428,6 +498,12 @@ impl Accals {
                 e_after,
                 e_est: e + best.delta_e,
                 n_ands_after,
+                candgen_ms: 0.0,
+                mask_ms: 0.0,
+                score_ms: 0.0,
+                select_ms,
+                trial_ms,
+                commit_ms,
             },
             remap,
         ))
@@ -522,6 +598,7 @@ impl Accals {
     ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
         let cfg = &self.cfg;
         let n_candidates = scored.len();
+        let t_select = Instant::now();
         let l_top = obtain_top_set(scored, e, cfg.error_bound, r_ref);
         let l_sol = find_solve_conflicts(&l_top);
         let l_indp = select_indep_lacs(
@@ -540,6 +617,7 @@ impl Accals {
         } else {
             Vec::new()
         };
+        let select_ms = ms(t_select.elapsed());
 
         if cfg.incremental_trials {
             return self.multi_round_incremental(
@@ -554,9 +632,11 @@ impl Accals {
                 l_sol.len(),
                 &l_indp,
                 &l_rand,
+                select_ms,
             );
         }
 
+        let t_trial = Instant::now();
         let (g1, e1, rep1, rm1) = self.apply_and_measure(current, &l_indp, golden_sigs, pats);
         let (mut next, mut e_after, mut report, mut remap, mut chose_indp, mut chosen) =
             (g1, e1, rep1, rm1, true, &l_indp);
@@ -590,6 +670,7 @@ impl Accals {
                 reverted = true;
             }
         }
+        let trial_ms = ms(t_trial.elapsed());
 
         let n_ands_after = next.n_ands();
         Some((
@@ -610,6 +691,12 @@ impl Accals {
                 e_after,
                 e_est,
                 n_ands_after,
+                candgen_ms: 0.0,
+                mask_ms: 0.0,
+                score_ms: 0.0,
+                select_ms,
+                trial_ms,
+                commit_ms: 0.0,
             },
             remap,
         ))
@@ -636,8 +723,10 @@ impl Accals {
         n_sol: usize,
         l_indp: &[ScoredLac],
         l_rand: &[ScoredLac],
+        select_ms: f64,
     ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
         let cfg = &self.cfg;
+        let t_trial = Instant::now();
         let topo = ConeTopology::build(current);
         let (e1, e2) = if cfg.race_random && self.pool.threads() > 1 {
             let sets = [l_indp, l_rand];
@@ -682,11 +771,14 @@ impl Accals {
                 chosen = std::slice::from_ref(&best_holder);
             }
         }
+        let trial_ms = ms(t_trial.elapsed());
 
         // Commit the round's one real apply + cleanup; the trial error
         // stands in for the full re-measure (bit-identical by contract).
+        let t_commit = Instant::now();
         let (next, report, remap) =
             self.commit_measured(current, chosen, e_after, golden_sigs, pats);
+        let commit_ms = ms(t_commit.elapsed());
         let n_ands_after = next.n_ands();
         Some((
             next,
@@ -706,6 +798,12 @@ impl Accals {
                 e_after,
                 e_est,
                 n_ands_after,
+                candgen_ms: 0.0,
+                mask_ms: 0.0,
+                score_ms: 0.0,
+                select_ms,
+                trial_ms,
+                commit_ms,
             },
             remap,
         ))
@@ -816,6 +914,12 @@ mod tests {
             e_after: 0.02,
             e_est: 0.015,
             n_ands_after: 30,
+            candgen_ms: 1.0,
+            mask_ms: 2.0,
+            score_ms: 3.0,
+            select_ms: 4.0,
+            trial_ms: 5.0,
+            commit_ms: 6.0,
         }
     }
 
@@ -856,6 +960,12 @@ mod tests {
                 "e_after",
                 "e_est",
                 "n_ands_after",
+                "candgen_ms",
+                "mask_ms",
+                "score_ms",
+                "select_ms",
+                "trial_ms",
+                "commit_ms",
             ]
         );
         // Every row has exactly as many fields as the header.
@@ -873,6 +983,10 @@ mod tests {
             "{summary}"
         );
         assert!(summary.contains("error 0.020000"), "{summary}");
+        assert!(
+            summary.contains("phase ms: candgen 1, mask 2, score 3, select 4, trial 5, commit 6"),
+            "{summary}"
+        );
         assert!(summary.contains("L_indp ratio 1.00"), "{summary}");
         assert!(!summary.contains('\n'), "{summary}");
         assert!(!summary.contains("  "), "double space: {summary}");

@@ -225,7 +225,7 @@ mod tests {
     fn selection_respects_lambda_budget() {
         let (g, nodes) = two_chains();
         // Three LACs on mutually independent nodes (use chain ends).
-        let far = vec![nodes[0], nodes[2]];
+        let far = [nodes[0], nodes[2]];
         let l_sol = vec![scored_const(far[0], 0.01), scored_const(far[1], 0.02)];
         // Budget allows only the first: lambda * e_b = 0.018.
         let sel = select_indep_lacs(&g, &l_sol, 0.0, 0.02, 20, 0.5, 0.9, MisStrategy::Exact);
@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn non_positive_delta_lacs_all_selected_when_plentiful() {
         let (g, nodes) = two_chains();
-        let far = vec![nodes[0], nodes[2]];
+        let far = [nodes[0], nodes[2]];
         let l_sol = vec![scored_const(far[0], -0.001), scored_const(far[1], 0.0)];
         // r_sel = 2 <= r_neg = 2: take all non-positive.
         let sel = select_indep_lacs(&g, &l_sol, 0.0, 0.01, 2, 0.5, 0.9, MisStrategy::Exact);

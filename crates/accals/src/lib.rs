@@ -132,6 +132,13 @@ pub struct AccalsConfig {
     /// either way — measurements are bit-identical by construction — so
     /// this exists for benchmarking the speedup and as a fallback.
     pub incremental_trials: bool,
+    /// Generate candidates through the cross-round
+    /// [`lac::CandidateStore`] (dirty-region regeneration plus cached
+    /// deviation masks for scoring) instead of from scratch every round.
+    /// The candidate lists and scores are bit-identical either way — the
+    /// store's invalidation contract is exact — so this exists for
+    /// benchmarking the speedup and as a fallback.
+    pub incremental_candgen: bool,
 }
 
 impl AccalsConfig {
@@ -159,6 +166,7 @@ impl AccalsConfig {
             max_rounds: 100_000,
             race_random: true,
             incremental_trials: true,
+            incremental_candgen: true,
         }
     }
 }

@@ -37,6 +37,24 @@ pub struct RoundTrace {
     pub e_est: f64,
     /// AIG gate count after the round (post-cleanup).
     pub n_ands_after: usize,
+    /// Wall-clock spent generating candidates (fresh or rolled through
+    /// the [`lac::CandidateStore`]), in milliseconds.
+    pub candgen_ms: f64,
+    /// Wall-clock spent computing missing transfer masks, in
+    /// milliseconds.
+    pub mask_ms: f64,
+    /// Wall-clock spent scoring candidates against the masks, in
+    /// milliseconds.
+    pub score_ms: f64,
+    /// Wall-clock spent in set selection (top set, conflict solving,
+    /// independence, random sampling — or the single-mode sort), in
+    /// milliseconds.
+    pub select_ms: f64,
+    /// Wall-clock spent trial-measuring candidate sets, in milliseconds.
+    pub trial_ms: f64,
+    /// Wall-clock spent committing the chosen edit (apply + cleanup +
+    /// any verification measurement), in milliseconds.
+    pub commit_ms: f64,
 }
 
 impl RoundTrace {
@@ -72,6 +90,12 @@ mod tests {
             e_after,
             e_est,
             n_ands_after: 0,
+            candgen_ms: 0.0,
+            mask_ms: 0.0,
+            score_ms: 0.0,
+            select_ms: 0.0,
+            trial_ms: 0.0,
+            commit_ms: 0.0,
         }
     }
 

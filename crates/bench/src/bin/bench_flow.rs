@@ -1,7 +1,9 @@
 //! End-to-end flow benchmark: full `synthesize` wall-clock with the
-//! incremental trial-evaluation engine (`AccalsConfig::incremental_trials`)
-//! versus the full clone-and-resimulate trial path, on the same circuits,
-//! bounds, and thread pool.
+//! incremental round pipeline — trial evaluation
+//! (`AccalsConfig::incremental_trials`) plus cross-round candidate
+//! generation (`AccalsConfig::incremental_candgen`) — versus the full
+//! regenerate-and-resimulate path, on the same circuits, bounds, and
+//! thread pool.
 //!
 //! Both paths commit the identical circuit through the identical round
 //! sequence — the run asserts this before reporting — so the numbers
@@ -51,6 +53,7 @@ fn run_flow(
 ) -> SynthesisResult {
     let mut cfg = AccalsConfig::new(kind, bound);
     cfg.incremental_trials = incremental;
+    cfg.incremental_candgen = incremental;
     Accals::new(cfg).with_pool(pool).synthesize(golden)
 }
 
@@ -85,6 +88,14 @@ fn check_identity(name: &str, full: &SynthesisResult, incr: &SynthesisResult) {
         incr.rounds.len(),
         "{name}: round count diverged between trial paths"
     );
+    for (rf, ri) in full.rounds.iter().zip(&incr.rounds) {
+        assert_eq!(
+            (rf.applied, rf.e_after.to_bits(), rf.n_ands_after),
+            (ri.applied, ri.e_after.to_bits(), ri.n_ands_after),
+            "{name}: round {} diverged between paths",
+            rf.round
+        );
+    }
 }
 
 struct FlowReport {
@@ -98,7 +109,13 @@ struct FlowReport {
     rounds: usize,
     full_ms: f64,
     incr_ms: f64,
+    /// Per-phase totals of the incremental run, from
+    /// [`SynthesisResult::phase_totals_ms`]: candgen, mask, score,
+    /// select, trial, commit.
+    incr_phases_ms: [f64; 6],
 }
+
+const PHASE_NAMES: [&str; 6] = ["candgen", "mask", "score", "select", "trial", "commit"];
 
 impl FlowReport {
     fn speedup(&self) -> f64 {
@@ -121,6 +138,9 @@ impl FlowReport {
         let _ = writeln!(s, "      \"rounds\": {},", self.rounds);
         let _ = writeln!(s, "      \"full_resim_ms\": {:.3},", self.full_ms);
         let _ = writeln!(s, "      \"incremental_ms\": {:.3},", self.incr_ms);
+        for (n, v) in PHASE_NAMES.iter().zip(self.incr_phases_ms) {
+            let _ = writeln!(s, "      \"incremental_{n}_ms\": {v:.3},");
+        }
         let _ = writeln!(
             s,
             "      \"rounds_per_sec_full\": {:.2},",
@@ -148,6 +168,7 @@ fn bench_circuit(
     let (full_ms, full) = time_median(repeats, || run_flow(golden, kind, bound, false, pool));
     let (incr_ms, incr) = time_median(repeats, || run_flow(golden, kind, bound, true, pool));
     check_identity(name, &full, &incr);
+    let incr_phases_ms = incr.phase_totals_ms();
     FlowReport {
         name: name.to_string(),
         kind,
@@ -159,6 +180,7 @@ fn bench_circuit(
         rounds: full.rounds.len(),
         full_ms,
         incr_ms,
+        incr_phases_ms,
     }
 }
 
@@ -177,6 +199,12 @@ fn print_report(r: &FlowReport) {
         r.rounds_per_sec(r.incr_ms),
         r.speedup()
     );
+    let phases: Vec<String> = PHASE_NAMES
+        .iter()
+        .zip(r.incr_phases_ms)
+        .map(|(n, v)| format!("{n} {v:.0}"))
+        .collect();
+    println!("        incremental phase ms: {}", phases.join(", "));
 }
 
 fn main() {

@@ -40,10 +40,20 @@ pub use cache::{CacheStats, MaskCache, MaskEntry};
 use aig::{cone, Aig, Lit, NodeId};
 use bitsim::{simulate, ConeSimulator, ConeTopology, Patterns, Sim};
 use errmetrics::{error, ErrorEval, MetricKind};
-use lac::{Lac, ScoredLac};
+use lac::{DevMask, Lac, ScoredLac};
 use parkit::ThreadPool;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-clock breakdown of one estimator's work, for round traces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstimatePhases {
+    /// Time spent building missing transfer masks (cone resimulation).
+    pub mask_ms: f64,
+    /// Time spent scoring candidates against the masks.
+    pub score_ms: f64,
+}
 
 /// Mask storage: either private per-round scratch or a caller-owned
 /// cross-round cache.
@@ -82,6 +92,7 @@ pub struct BatchEstimator<'a> {
     pool: &'static ThreadPool,
     cache: CacheSlot<'a>,
     current_error: f64,
+    phases: EstimatePhases,
 }
 
 impl<'a> BatchEstimator<'a> {
@@ -133,6 +144,7 @@ impl<'a> BatchEstimator<'a> {
             pool: parkit::global(),
             cache,
             current_error: eval.current(),
+            phases: EstimatePhases::default(),
         }
     }
 
@@ -148,10 +160,33 @@ impl<'a> BatchEstimator<'a> {
         self.current_error
     }
 
+    /// The wall-clock breakdown of the scoring calls so far.
+    pub fn phases(&self) -> EstimatePhases {
+        self.phases
+    }
+
     /// Scores every candidate: estimated error increase `ΔE` plus the
     /// area gain (MFFC size minus new-function cost). Results are in
     /// input order and bit-identical at any thread count.
     pub fn score_all(&mut self, cands: &[Lac]) -> Vec<ScoredLac> {
+        self.score_inner(cands, None)
+    }
+
+    /// Like [`BatchEstimator::score_all`], but reuses precomputed
+    /// deviation masks (one per candidate, e.g. from
+    /// [`lac::CandidateStore::devs`]) instead of re-evaluating each
+    /// candidate's substituted function against the base simulation.
+    /// Results are bit-identical to [`BatchEstimator::score_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devs.len() != cands.len()`.
+    pub fn score_all_cached(&mut self, cands: &[Lac], devs: &[&DevMask]) -> Vec<ScoredLac> {
+        assert_eq!(devs.len(), cands.len(), "one deviation mask per candidate");
+        self.score_inner(cands, Some(devs))
+    }
+
+    fn score_inner(&mut self, cands: &[Lac], devs: Option<&[&DevMask]>) -> Vec<ScoredLac> {
         if cands.is_empty() {
             return Vec::new();
         }
@@ -186,6 +221,7 @@ impl<'a> BatchEstimator<'a> {
         self.cache
             .get_mut()
             .note_lookups(targets.len() - missing.len(), missing.len());
+        let t_mask = Instant::now();
         if !missing.is_empty() {
             let chunk = missing.len().div_ceil(pool.threads() * 2).max(1);
             let computed: Vec<Vec<MaskEntry>> =
@@ -208,93 +244,132 @@ impl<'a> BatchEstimator<'a> {
             }
         }
 
+        self.phases.mask_ms += t_mask.elapsed().as_secs_f64() * 1e3;
+
         let store = self.cache.get();
         let chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
+        let t_score = Instant::now();
+
+        // Per-candidate deviation: either scattered from a cached
+        // sparse mask into the dense scratch (listed words only, cleared
+        // again by the caller) or recomputed from the substituted
+        // function (which overwrites the whole scratch).
+        let load_dev = |ci: usize, dense: &mut [u64], words: &mut Vec<u32>| {
+            words.clear();
+            match devs {
+                Some(ds) => {
+                    let d = ds[ci];
+                    for (k, &w) in d.words.iter().enumerate() {
+                        dense[w as usize] = d.bits[k];
+                        words.push(w);
+                    }
+                }
+                None => {
+                    let lac = &cands[ci];
+                    lac.signature_into(sim, dense);
+                    let base = sim.sig(lac.tn);
+                    for (w, d) in dense.iter_mut().enumerate() {
+                        *d ^= base[w]; // deviation mask, reusing the buffer
+                        if *d != 0 {
+                            words.push(w as u32);
+                        }
+                    }
+                }
+            }
+        };
+        // With cached deviations only the listed words were written;
+        // clear exactly those so the scratch stays zero between
+        // candidates. Fresh recomputation overwrites everything anyway.
+        let unload_dev = |dense: &mut [u64], words: &[u32]| {
+            if devs.is_some() {
+                for &w in words {
+                    dense[w as usize] = 0;
+                }
+            }
+        };
 
         // ER factors further: per target, precompute the union diff the
         // circuit would have if every pattern deviated (the transfer
         // masks folded into the current diffs once). Scoring a candidate
         // is then a two-way select per deviating word — no per-output
         // loop and no flip materialization at all.
-        if eval.kind() == MetricKind::Er {
+        let scored: Vec<Vec<ScoredLac>> = if eval.kind() == MetricKind::Er {
             let e1s: Vec<Vec<u64>> = pool.par_map_collect(&targets, |_, &tn| {
                 let entry = store.get(tn).expect("mask entry was just built");
                 let mut e1 = Vec::new();
                 eval.er_conditional_union(&entry.outs, &entry.masks, &mut e1);
                 e1
             });
-            let scored: Vec<Vec<ScoredLac>> =
-                pool.par_chunk_results(cands.len(), chunk, |_, range| {
-                    let mut cand_sig = vec![0u64; stride];
-                    let mut words: Vec<u32> = Vec::new();
-                    let mut out = Vec::with_capacity(range.len());
-                    for ci in range {
-                        let lac = &cands[ci];
-                        let slot = slot_of[&lac.tn] as usize;
-                        lac.signature_into(sim, &mut cand_sig);
-                        let base = sim.sig(lac.tn);
-                        words.clear();
-                        for (w, d) in cand_sig.iter_mut().enumerate() {
-                            *d ^= base[w]; // deviation mask, reusing the buffer
-                            if *d != 0 {
-                                words.push(w as u32);
-                            }
+            pool.par_chunk_results(cands.len(), chunk, |_, range| {
+                let mut dev = vec![0u64; stride];
+                let mut words: Vec<u32> = Vec::new();
+                let mut out = Vec::with_capacity(range.len());
+                for ci in range {
+                    let lac = &cands[ci];
+                    let slot = slot_of[&lac.tn] as usize;
+                    load_dev(ci, &mut dev, &mut words);
+                    let e_new = eval.er_with_deviation(&words, &dev, &e1s[slot]);
+                    unload_dev(&mut dev, &words);
+                    out.push(ScoredLac {
+                        lac: *lac,
+                        delta_e: e_new - current,
+                        gain: mffcs[slot] - lac.new_node_cost() as i64,
+                    });
+                }
+                out
+            })
+        } else {
+            // Phase 2 (general metrics): score candidates in parallel.
+            // Only deviation words are touched: flip rows are written
+            // sparsely — and only for outputs whose footprint actually
+            // intersects the deviation — evaluated via the word-sparse
+            // path, and re-zeroed, so the per-chunk scratch stays clean
+            // between candidates.
+            let fp_len = MaskEntry::footprint_len(stride);
+            pool.par_chunk_results(cands.len(), chunk, |_, range| {
+                let mut dev = vec![0u64; stride];
+                let mut flips = vec![vec![0u64; stride]; n_outputs];
+                let mut words: Vec<u32> = Vec::new();
+                let mut touched: Vec<u32> = Vec::new();
+                let mut out = Vec::with_capacity(range.len());
+                for ci in range {
+                    let lac = &cands[ci];
+                    let entry = store.get(lac.tn).expect("mask entry was just built");
+                    load_dev(ci, &mut dev, &mut words);
+                    touched.clear();
+                    for (k, &o) in entry.outs.iter().enumerate() {
+                        let fp = &entry.row_words[k * fp_len..(k + 1) * fp_len];
+                        if !words
+                            .iter()
+                            .any(|&w| fp[(w >> 6) as usize] >> (w & 63) & 1 != 0)
+                        {
+                            continue; // no mask word under the deviation
                         }
-                        let e_new = eval.er_with_deviation(&words, &cand_sig, &e1s[slot]);
-                        out.push(ScoredLac {
-                            lac: *lac,
-                            delta_e: e_new - current,
-                            gain: mffcs[slot] - lac.new_node_cost() as i64,
-                        });
+                        let row = &entry.masks[k * stride..(k + 1) * stride];
+                        let fl = &mut flips[o as usize];
+                        for &w in &words {
+                            fl[w as usize] = dev[w as usize] & row[w as usize];
+                        }
+                        touched.push(o);
                     }
-                    out
-                });
-            return scored.into_iter().flatten().collect();
-        }
-
-        // Phase 2 (general metrics): score candidates in parallel. Only
-        // deviation words are touched: flip rows are written sparsely,
-        // evaluated via the word-sparse path, and re-zeroed, so the
-        // per-chunk scratch stays clean between candidates.
-        let scored: Vec<Vec<ScoredLac>> = pool.par_chunk_results(cands.len(), chunk, |_, range| {
-            let mut cand_sig = vec![0u64; stride];
-            let mut flips = vec![vec![0u64; stride]; n_outputs];
-            let mut words: Vec<u32> = Vec::new();
-            let mut out = Vec::with_capacity(range.len());
-            for ci in range {
-                let lac = &cands[ci];
-                let entry = store.get(lac.tn).expect("mask entry was just built");
-                lac.signature_into(sim, &mut cand_sig);
-                let base = sim.sig(lac.tn);
-                words.clear();
-                for (w, d) in cand_sig.iter_mut().enumerate() {
-                    *d ^= base[w]; // deviation mask, reusing the buffer
-                    if *d != 0 {
-                        words.push(w as u32);
+                    let e_new = eval.with_flips_words(&words, &flips);
+                    for &o in &touched {
+                        let fl = &mut flips[o as usize];
+                        for &w in &words {
+                            fl[w as usize] = 0;
+                        }
                     }
+                    unload_dev(&mut dev, &words);
+                    out.push(ScoredLac {
+                        lac: *lac,
+                        delta_e: e_new - current,
+                        gain: mffcs[slot_of[&lac.tn] as usize] - lac.new_node_cost() as i64,
+                    });
                 }
-                for (k, &o) in entry.outs.iter().enumerate() {
-                    let row = &entry.masks[k * stride..(k + 1) * stride];
-                    let fl = &mut flips[o as usize];
-                    for &w in &words {
-                        fl[w as usize] = cand_sig[w as usize] & row[w as usize];
-                    }
-                }
-                let e_new = eval.with_flips_words(&words, &flips);
-                for &o in entry.outs.iter() {
-                    let fl = &mut flips[o as usize];
-                    for &w in &words {
-                        fl[w as usize] = 0;
-                    }
-                }
-                out.push(ScoredLac {
-                    lac: *lac,
-                    delta_e: e_new - current,
-                    gain: mffcs[slot_of[&lac.tn] as usize] - lac.new_node_cost() as i64,
-                });
-            }
-            out
-        });
+                out
+            })
+        };
+        self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
         scored.into_iter().flatten().collect()
     }
 }
@@ -308,13 +383,22 @@ fn build_entry(rows: &[Vec<u64>], stride: usize) -> MaskEntry {
         .filter(|(_, row)| row.iter().any(|&w| w != 0))
         .map(|(o, _)| o as u32)
         .collect();
+    let fp_len = MaskEntry::footprint_len(stride);
     let mut masks = Vec::with_capacity(outs.len() * stride);
-    for &o in &outs {
-        masks.extend_from_slice(&rows[o as usize]);
+    let mut row_words = vec![0u64; outs.len() * fp_len];
+    for (k, &o) in outs.iter().enumerate() {
+        let row = &rows[o as usize];
+        masks.extend_from_slice(row);
+        for (w, &word) in row.iter().enumerate() {
+            if word != 0 {
+                row_words[k * fp_len + (w >> 6)] |= 1 << (w & 63);
+            }
+        }
     }
     MaskEntry {
         outs: outs.into_boxed_slice(),
         masks: masks.into_boxed_slice(),
+        row_words: row_words.into_boxed_slice(),
     }
 }
 
@@ -402,6 +486,42 @@ mod tests {
     }
 
     #[test]
+    fn cached_deviations_match_fresh_scoring() {
+        // score_all_cached with precomputed sparse deviation masks must
+        // be bit-identical to score_all recomputing them, on both the
+        // ER fast path and the general metric path.
+        let g = benchgen::adders::rca(6);
+        let pats = Patterns::random(12, 320, 11);
+        let sim = simulate(&g, &pats);
+        let golden = sim.output_sigs(&g);
+        let cands = generate_candidates(&g, &sim, &CandidateConfig::default());
+        let mut scratch = vec![0u64; sim.stride()];
+        let devs: Vec<DevMask> = cands
+            .iter()
+            .map(|l| DevMask::of(&sim, l, &mut scratch))
+            .collect();
+        let dev_refs: Vec<&DevMask> = devs.iter().collect();
+        for kind in [MetricKind::Er, MetricKind::Nmed] {
+            let mut eval = ErrorEval::new(kind, &golden, pats.n_patterns());
+            eval.rebase(&golden);
+            let fresh = BatchEstimator::new(&g, &sim, &eval).score_all(&cands);
+            let cached =
+                BatchEstimator::new(&g, &sim, &eval).score_all_cached(&cands, &dev_refs);
+            assert_eq!(fresh.len(), cached.len());
+            for (f, c) in fresh.iter().zip(&cached) {
+                assert_eq!(f.lac, c.lac);
+                assert_eq!(f.gain, c.gain);
+                assert_eq!(
+                    f.delta_e.to_bits(),
+                    c.delta_e.to_bits(),
+                    "{kind} {}: ΔE drifted",
+                    f.lac
+                );
+            }
+        }
+    }
+
+    #[test]
     fn gain_reflects_mffc() {
         let mut g = aig::Aig::new("t", 3);
         let (a, b, c) = (g.pi(0), g.pi(1), g.pi(2));
@@ -441,9 +561,14 @@ mod tests {
         let mut est = BatchEstimator::with_cache(&g0, &sim0, &eval, &mut cache, None);
         let scored0 = est.score_all(&cands0);
 
+        // Avoid targets that drive an output: replacing an output
+        // driver changes the output literal, which (by design) flushes
+        // the mask cache instead of rolling it.
+        let driven: std::collections::HashSet<_> =
+            g0.outputs().iter().map(|o| o.lit.node()).collect();
         let pick = scored0
             .iter()
-            .filter(|s| s.delta_e <= 0.02)
+            .filter(|s| s.delta_e <= 0.02 && !driven.contains(&s.lac.tn))
             .max_by_key(|s| s.gain)
             .expect("some candidate fits the bound");
         let mut g1 = g0.clone();

@@ -1,8 +1,7 @@
 use crate::kinds::{Lac, LacKind};
 use aig::{Aig, Fanouts, Node, NodeId};
 use bitsim::{popcount, Sim};
-use prng::rngs::StdRng;
-use prng::{Rng, SeedableRng};
+use prng::RngCore;
 
 /// Tuning knobs for [`generate_candidates`].
 ///
@@ -10,7 +9,7 @@ use prng::{Rng, SeedableRng};
 /// a handful of candidates per node across the three LAC families, with
 /// signature-distance pre-ranking so the batch estimator sees promising
 /// candidates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateConfig {
     /// Generate constant-0/1 LACs.
     pub constants: bool,
@@ -53,13 +52,401 @@ impl Default for CandidateConfig {
     }
 }
 
+/// Divisor slots reserved for the random "diversify" probes, so they
+/// survive even when the local divisors alone would fill
+/// `max_divisors` (see [`assemble_divisors`]).
+pub(crate) const DIVISOR_PROBE_RESERVE: usize = 2;
+
+/// Shared read-only inputs for per-node candidate generation, built
+/// once per circuit revision and usable from any thread.
+pub(crate) struct GenCtx<'a> {
+    pub aig: &'a Aig,
+    pub sim: &'a Sim,
+    pub cfg: &'a CandidateConfig,
+    pub levels: &'a [u32],
+    pub live: &'a [bool],
+    pub fanouts: &'a Fanouts,
+    /// Substitute pool sorted by level (see [`build_pool`]).
+    pub pool: &'a [NodeId],
+    /// Level of each pool entry, for `partition_point` prefix lookups.
+    pub pool_levels: &'a [u32],
+    /// Signature key of each pool entry (see [`pool_sig_keys`]).
+    pub pool_keys: &'a [u64],
+}
+
+/// One node's generated candidates plus the inputs the generation read,
+/// which [`crate::CandidateStore`] tracks for exact invalidation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeGen {
+    /// Candidates in emission order (constants, wires, binaries,
+    /// ternaries).
+    pub cands: Vec<Lac>,
+    /// Every node whose signature, level, or liveness the generation
+    /// read: fanins, grand-fanins, fanout siblings, and all drawn pool
+    /// probes. Sorted and deduplicated.
+    pub deps: Vec<NodeId>,
+    /// The target's fanouts. Only their *structure* (and liveness) was
+    /// read — they contribute siblings, never signatures — so the store
+    /// holds them to a weaker invalidation bar than `deps`.
+    pub fo_deps: Vec<NodeId>,
+    /// Rendezvous-weight floor of the wire-probe draw: a pool node that
+    /// enters this target's visible range (or changes its signature)
+    /// alters the draw iff its weight reaches the floor. `u64::MAX`
+    /// when the family is off (nothing can enter), `0` when the range
+    /// could not fill the draw (anything entering would be selected).
+    pub wire_floor: u64,
+    /// Same, for the binary-divisor "diversify" extras.
+    pub extra_floor: u64,
+}
+
+/// A stamped membership set over node ids: `O(1)` insert with no
+/// clearing between nodes (bumping the stamp invalidates every mark),
+/// replacing the `Vec::contains` scans in the candgen hot loop.
+pub(crate) struct SeenSet {
+    stamp: u64,
+    marks: Vec<u64>,
+}
+
+impl SeenSet {
+    pub(crate) fn new(n_nodes: usize) -> Self {
+        SeenSet { stamp: 0, marks: vec![0; n_nodes] }
+    }
+
+    fn begin(&mut self) {
+        self.stamp += 1;
+    }
+
+    /// Returns `true` the first time `n` is inserted after `begin`.
+    fn insert(&mut self, n: NodeId) -> bool {
+        let m = &mut self.marks[n.index()];
+        if *m == self.stamp {
+            false
+        } else {
+            *m = self.stamp;
+            true
+        }
+    }
+}
+
+/// The substitute pool: live non-constant nodes sorted by level (stable,
+/// so ties keep ascending id order), with their levels alongside so
+/// "level <= L" prefixes can be sampled by `partition_point`.
+pub(crate) fn build_pool(aig: &Aig, levels: &[u32], live: &[bool]) -> (Vec<NodeId>, Vec<u32>) {
+    let mut pool: Vec<NodeId> = aig
+        .node_ids()
+        .skip(1) // constant node is covered by Constant LACs
+        .filter(|&id| live[id.index()])
+        .collect();
+    pool.sort_by_key(|id| levels[id.index()]);
+    let pool_levels = pool.iter().map(|id| levels[id.index()]).collect();
+    (pool, pool_levels)
+}
+
+/// Stable per-node RNG key: a hash of the node's full simulation
+/// signature. Node ids shift across cleanup, but a node whose
+/// candidates survive a [`crate::CandidateStore`] roll has — by the
+/// invalidation contract — an unchanged signature, so the key (and
+/// hence the probe stream) is identical whether the node is carried or
+/// regenerated, and fresh generation computes the same key from the
+/// current circuit alone. A hash collision merely makes two nodes share
+/// a stream, which is deterministic and harmless.
+pub(crate) fn sig_key(sig: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (sig.len() as u64);
+    for &w in sig {
+        h ^= w;
+        h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Signature keys of the pool entries, index-aligned with the pool.
+pub(crate) fn pool_sig_keys(sim: &Sim, pool: &[NodeId]) -> Vec<u64> {
+    pool.iter().map(|&v| sig_key(sim.sig(v))).collect()
+}
+
+/// Stream salts separating the wire-probe draw from the binary-extras
+/// draw (two independent per-node streams off the same seed).
+const WIRE_SALT: u64 = 0x5A51_3157_112E_5EED;
+const EXTRA_SALT: u64 = 0xD157_B1A2_E87A_5EED;
+
+/// The per-node RNG streams backing probe selection: one 64-bit tweak
+/// per draw family, drawn from `prng::stream(cfg.seed + salt, node key)`.
+/// Pool probes are then chosen by *rendezvous* (highest-weight) sampling
+/// with the pairwise weight [`pair_weight`]`(tweak, probe key)` rather
+/// than by pool-index arithmetic: a draw depends only on which nodes are
+/// visible and on their signatures — never on their positions in the
+/// pool — so a distant commit that merely shifts the pool cannot change
+/// an untouched node's candidates, and [`crate::CandidateStore`] can
+/// detect the draws that *would* change by comparing entering nodes'
+/// weights against the stored selection floors.
+pub(crate) fn probe_tweaks(seed: u64, node_key: u64) -> (u64, u64) {
+    (
+        prng::stream(seed ^ WIRE_SALT, node_key).next_u64(),
+        prng::stream(seed ^ EXTRA_SALT, node_key).next_u64(),
+    )
+}
+
+/// Rendezvous weight of a (target stream, probe) pair: a SplitMix64-style
+/// finalizer over the tweak and the probe's signature key.
+pub(crate) fn pair_weight(tweak: u64, probe_key: u64) -> u64 {
+    let mut x = tweak ^ probe_key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Selects the `k` highest-weight probes for `id` among the visible
+/// pool prefix (excluding the target itself), appended to `out` in
+/// descending-weight order with ties broken toward earlier pool
+/// position. Returns the selection floor (see [`NodeGen::wire_floor`]).
+fn draw_probes(
+    ctx: &GenCtx<'_>,
+    id: NodeId,
+    visible: usize,
+    tweak: u64,
+    k: usize,
+    out: &mut Vec<NodeId>,
+) -> u64 {
+    if k == 0 {
+        return u64::MAX;
+    }
+    // (weight, pool position), best first. Scan order is ascending
+    // position, so an equal-weight incumbent always has the earlier
+    // position and wins the tie.
+    let mut sel: Vec<(u64, u32)> = Vec::with_capacity(k + 1);
+    for (pos, &v) in ctx.pool[..visible].iter().enumerate() {
+        if v == id {
+            continue;
+        }
+        let w = pair_weight(tweak, ctx.pool_keys[pos]);
+        if sel.len() == k {
+            if w <= sel.last().unwrap().0 {
+                continue;
+            }
+            sel.pop();
+        }
+        let at = sel.partition_point(|&(sw, _)| sw >= w);
+        sel.insert(at, (w, pos as u32));
+    }
+    out.extend(sel.iter().map(|&(_, p)| ctx.pool[p as usize]));
+    if sel.len() < k {
+        0
+    } else {
+        sel.last().unwrap().0
+    }
+}
+
+/// Builds the binary-resubstitution divisor list: up to
+/// `max - DIVISOR_PROBE_RESERVE` locals, then the random extras, then
+/// backfill from the remaining locals. Reserving slots guarantees the
+/// random probes are never silently truncated away on well-connected
+/// nodes (they used to be appended *after* the locals and then
+/// truncated off whenever the locals alone filled `max`).
+pub(crate) fn assemble_divisors(locals: &[NodeId], extras: &[NodeId], max: usize) -> Vec<NodeId> {
+    let reserve = DIVISOR_PROBE_RESERVE.min(max);
+    let mut divisors: Vec<NodeId> = locals.iter().copied().take(max - reserve).collect();
+    for &v in extras {
+        if divisors.len() >= max {
+            break;
+        }
+        if !divisors.contains(&v) {
+            divisors.push(v);
+        }
+    }
+    for &v in locals.iter().skip(max - reserve) {
+        if divisors.len() >= max {
+            break;
+        }
+        if !divisors.contains(&v) {
+            divisors.push(v);
+        }
+    }
+    divisors
+}
+
+/// Generates the candidates of a single target node, with private RNG
+/// streams keyed by the node's signature. Both [`generate_candidates`]
+/// and [`crate::CandidateStore`] call this, which is what makes the
+/// incremental store bit-identical to fresh generation: a node's output
+/// depends only on `ctx` and the node itself, never on which other
+/// nodes are (re)generated around it or on the thread that runs it.
+pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> NodeGen {
+    let cfg = ctx.cfg;
+    let n_patterns = ctx.sim.n_patterns();
+    let lvl = ctx.levels[id.index()];
+    let sig_n = ctx.sim.sig(id);
+    let mut out = NodeGen {
+        wire_floor: if cfg.wires { 0 } else { u64::MAX },
+        extra_floor: if cfg.binaries { 0 } else { u64::MAX },
+        ..NodeGen::default()
+    };
+
+    if cfg.constants {
+        out.cands.push(Lac::new(id, LacKind::Constant(false)));
+        out.cands.push(Lac::new(id, LacKind::Constant(true)));
+    }
+
+    // Candidate substitutes visible to this node.
+    let visible = ctx.pool_levels.partition_point(|&l| l <= lvl);
+    if visible == 0 {
+        return out;
+    }
+    let (wire_tweak, extra_tweak) = probe_tweaks(cfg.seed, sig_key(sig_n));
+
+    // Local divisors: fanins, grand-fanins, and fanout siblings.
+    seen.begin();
+    let mut locals: Vec<NodeId> = Vec::new();
+    if let Node::And(a, b) = ctx.aig.node(id) {
+        for f in [a.node(), b.node()] {
+            if seen.insert(f) {
+                locals.push(f);
+            }
+            if let Node::And(x, y) = ctx.aig.node(f) {
+                for gf in [x.node(), y.node()] {
+                    if seen.insert(gf) {
+                        locals.push(gf);
+                    }
+                }
+            }
+        }
+    }
+    for &fo in ctx.fanouts.of(id) {
+        out.fo_deps.push(fo);
+        if let Node::And(x, y) = ctx.aig.node(fo) {
+            for s in [x.node(), y.node()] {
+                if s != id && seen.insert(s) {
+                    locals.push(s);
+                }
+            }
+        }
+    }
+    out.deps.extend_from_slice(&locals);
+    locals.retain(|&v| {
+        v != id && v != NodeId::CONST0 && ctx.live[v.index()] && ctx.levels[v.index()] <= lvl
+    });
+
+    if cfg.wires {
+        // Locals plus drawn pool probes, ranked by signature distance.
+        // The visible pool prefix is live, level-bounded, and excludes
+        // the constant, so a drawn probe can never equal a local that
+        // `retain` dropped — the stamp set therefore dedups exactly as
+        // scanning `probes` would.
+        let mut probes = locals.clone();
+        let mut drawn = Vec::new();
+        out.wire_floor = draw_probes(ctx, id, visible, wire_tweak, cfg.max_wire_probes, &mut drawn);
+        for &v in &drawn {
+            out.deps.push(v);
+            if seen.insert(v) {
+                probes.push(v);
+            }
+        }
+        let mut scored: Vec<(usize, NodeId, bool)> = Vec::with_capacity(probes.len() * 2);
+        for &v in &probes {
+            let sig_v = ctx.sim.sig(v);
+            let d_pos = hamming(sig_n, sig_v, false, n_patterns);
+            let d_neg = n_patterns - d_pos;
+            scored.push((d_pos, v, false));
+            scored.push((d_neg, v, true));
+        }
+        scored.sort_by_key(|&(d, v, neg)| (d, v, neg));
+        for &(_, sn, neg) in scored.iter().take(cfg.k_wire) {
+            out.cands.push(Lac::new(id, LacKind::Wire { sn, neg }));
+        }
+    }
+
+    if cfg.binaries {
+        // A couple of drawn extras diversify the divisor pool; the
+        // slot assembly guarantees they survive the size cap.
+        let mut extras: Vec<NodeId> = Vec::new();
+        out.extra_floor =
+            draw_probes(ctx, id, visible, extra_tweak, DIVISOR_PROBE_RESERVE, &mut extras);
+        out.deps.extend_from_slice(&extras);
+        let divisors = assemble_divisors(&locals, &extras, cfg.max_divisors);
+        // The pair made of the target's own fanins with zero
+        // deviation reconstructs the identical gate — a no-op.
+        let fanin_pair: Option<[NodeId; 2]> = ctx.aig.fanins(id).map(|(a, b)| {
+            let (mut x, mut y) = (a.node(), b.node());
+            if x > y {
+                std::mem::swap(&mut x, &mut y);
+            }
+            [x, y]
+        });
+        let mut scored: Vec<(usize, Lac)> = Vec::new();
+        for (i, &v1) in divisors.iter().enumerate() {
+            for &v2 in &divisors[i + 1..] {
+                if let Some((tt, dev)) = best_tt2(ctx.sim, id, v1, v2, n_patterns) {
+                    let (mut x, mut y) = (v1, v2);
+                    if x > y {
+                        std::mem::swap(&mut x, &mut y);
+                    }
+                    if dev == 0 && fanin_pair == Some([x, y]) {
+                        continue;
+                    }
+                    scored.push((dev, Lac::new(id, LacKind::Binary { sns: [v1, v2], tt })));
+                }
+            }
+        }
+        scored.sort_by_key(|&(d, l)| (d, l.tn, sns_key(&l)));
+        let keep_binary = cfg.k_binary.min(scored.len());
+        for (_, l) in scored.iter().take(keep_binary) {
+            out.cands.push(*l);
+        }
+
+        if cfg.ternaries && divisors.len() >= 3 {
+            let mut tern: Vec<(usize, Lac)> = Vec::new();
+            // Bound the triple count: the first six divisors give
+            // C(6,3) = 20 triples.
+            let ds = &divisors[..divisors.len().min(6)];
+            for i in 0..ds.len() {
+                for j in i + 1..ds.len() {
+                    for k in j + 1..ds.len() {
+                        if let Some((tt, dev)) =
+                            best_tt3(ctx.sim, id, ds[i], ds[j], ds[k], n_patterns)
+                        {
+                            tern.push((
+                                dev,
+                                Lac::new(
+                                    id,
+                                    LacKind::Ternary {
+                                        sns: [ds[i], ds[j], ds[k]],
+                                        tt,
+                                    },
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            tern.sort_by_key(|&(d, l)| (d, l.tn, sns_key(&l)));
+            for (_, l) in tern.into_iter().take(cfg.k_ternary) {
+                out.cands.push(l);
+            }
+        }
+    }
+
+    out.deps.sort_unstable();
+    out.deps.dedup();
+    out
+}
+
 /// Generates candidate LACs for every live AND node of `aig`.
 ///
 /// Substitute nodes are restricted to levels at or below the target's
 /// level, which guarantees cycle-free application (a node's transitive
-/// fanout lies strictly above its level). Wire and binary candidates are
-/// pre-ranked by signature deviation on the simulated sample; the batch
-/// estimator refines the ranking into true error increases.
+/// fanout lies strictly above its level). Wire and binary candidates
+/// are pre-ranked by signature deviation on the simulated sample; the
+/// batch estimator refines the ranking into true error increases.
+///
+/// Each node draws its probes from private RNG streams keyed by
+/// `cfg.seed` and the node's signature, via rendezvous weights over the
+/// visible pool (see [`probe_tweaks`]), so its candidates do not depend
+/// on which other nodes exist or in which order nodes are processed —
+/// the property [`crate::CandidateStore`] exploits to regenerate only
+/// dirty nodes across rounds.
 ///
 /// # Panics
 ///
@@ -69,159 +456,26 @@ pub fn generate_candidates(aig: &Aig, sim: &Sim, cfg: &CandidateConfig) -> Vec<L
     let levels = aig.levels().expect("acyclic");
     let live = aig.live_mask();
     let fanouts = Fanouts::build(aig);
-    let n_patterns = sim.n_patterns();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    // Pool of potential substitutes (live PIs and gates), sorted by level
-    // so that "level <= L" prefixes can be sampled directly.
-    let mut pool: Vec<NodeId> = aig
-        .node_ids()
-        .skip(1) // constant node is covered by Constant LACs
-        .filter(|&id| live[id.index()])
-        .collect();
-    pool.sort_by_key(|id| levels[id.index()]);
-    let pool_levels: Vec<u32> = pool.iter().map(|id| levels[id.index()]).collect();
-
+    let (pool, pool_levels) = build_pool(aig, &levels, &live);
+    let pool_keys = pool_sig_keys(sim, &pool);
+    let ctx = GenCtx {
+        aig,
+        sim,
+        cfg,
+        levels: &levels,
+        live: &live,
+        fanouts: &fanouts,
+        pool: &pool,
+        pool_levels: &pool_levels,
+        pool_keys: &pool_keys,
+    };
+    let mut seen = SeenSet::new(aig.n_nodes());
     let mut out = Vec::new();
     for id in aig.and_ids() {
         if !live[id.index()] {
             continue;
         }
-        let lvl = levels[id.index()];
-        let sig_n = sim.sig(id);
-
-        if cfg.constants {
-            out.push(Lac::new(id, LacKind::Constant(false)));
-            out.push(Lac::new(id, LacKind::Constant(true)));
-        }
-
-        // Candidate substitutes visible to this node.
-        let visible = pool_levels.partition_point(|&l| l <= lvl);
-        if visible == 0 {
-            continue;
-        }
-
-        // Local divisors: fanins, grand-fanins, and fanout siblings.
-        let mut locals: Vec<NodeId> = Vec::new();
-        if let Node::And(a, b) = aig.node(id) {
-            for f in [a.node(), b.node()] {
-                push_unique(&mut locals, f);
-                if let Node::And(x, y) = aig.node(f) {
-                    push_unique(&mut locals, x.node());
-                    push_unique(&mut locals, y.node());
-                }
-            }
-        }
-        for &fo in fanouts.of(id) {
-            if let Node::And(x, y) = aig.node(fo) {
-                for s in [x.node(), y.node()] {
-                    if s != id {
-                        push_unique(&mut locals, s);
-                    }
-                }
-            }
-        }
-        locals.retain(|&v| {
-            v != id
-                && v != NodeId::CONST0
-                && live[v.index()]
-                && levels[v.index()] <= lvl
-        });
-
-        if cfg.wires {
-            // Locals plus random pool probes, ranked by signature distance.
-            let mut probes = locals.clone();
-            for _ in 0..cfg.max_wire_probes {
-                let v = pool[rng.gen_range(0..visible)];
-                if v != id {
-                    push_unique(&mut probes, v);
-                }
-            }
-            let mut scored: Vec<(usize, NodeId, bool)> = Vec::with_capacity(probes.len() * 2);
-            for &v in &probes {
-                let sig_v = sim.sig(v);
-                let d_pos = hamming(sig_n, sig_v, false, n_patterns);
-                let d_neg = n_patterns - d_pos;
-                scored.push((d_pos, v, false));
-                scored.push((d_neg, v, true));
-            }
-            scored.sort_by_key(|&(d, v, neg)| (d, v, neg));
-            for &(_, sn, neg) in scored.iter().take(cfg.k_wire) {
-                out.push(Lac::new(id, LacKind::Wire { sn, neg }));
-            }
-        }
-
-        if cfg.binaries {
-            let mut divisors = locals;
-            // A couple of random extras diversify the divisor pool.
-            for _ in 0..2 {
-                let v = pool[rng.gen_range(0..visible)];
-                if v != id && live[v.index()] && levels[v.index()] <= lvl {
-                    push_unique(&mut divisors, v);
-                }
-            }
-            divisors.truncate(cfg.max_divisors);
-            // The pair made of the target's own fanins with zero
-            // deviation reconstructs the identical gate — a no-op.
-            let fanin_pair: Option<[NodeId; 2]> = aig.fanins(id).map(|(a, b)| {
-                let (mut x, mut y) = (a.node(), b.node());
-                if x > y {
-                    std::mem::swap(&mut x, &mut y);
-                }
-                [x, y]
-            });
-            let mut scored: Vec<(usize, Lac)> = Vec::new();
-            for (i, &v1) in divisors.iter().enumerate() {
-                for &v2 in &divisors[i + 1..] {
-                    if let Some((tt, dev)) = best_tt2(sim, id, v1, v2, n_patterns) {
-                        let (mut x, mut y) = (v1, v2);
-                        if x > y {
-                            std::mem::swap(&mut x, &mut y);
-                        }
-                        if dev == 0 && fanin_pair == Some([x, y]) {
-                            continue;
-                        }
-                        scored.push((dev, Lac::new(id, LacKind::Binary { sns: [v1, v2], tt })));
-                    }
-                }
-            }
-            scored.sort_by_key(|&(d, l)| (d, l.tn, sns_key(&l)));
-            let keep_binary = cfg.k_binary.min(scored.len());
-            for (_, l) in scored.iter().take(keep_binary) {
-                out.push(*l);
-            }
-
-            if cfg.ternaries && divisors.len() >= 3 {
-                let mut tern: Vec<(usize, Lac)> = Vec::new();
-                // Bound the triple count: the first six divisors give
-                // C(6,3) = 20 triples.
-                let ds = &divisors[..divisors.len().min(6)];
-                for i in 0..ds.len() {
-                    for j in i + 1..ds.len() {
-                        for k in j + 1..ds.len() {
-                            if let Some((tt, dev)) =
-                                best_tt3(sim, id, ds[i], ds[j], ds[k], n_patterns)
-                            {
-                                tern.push((
-                                    dev,
-                                    Lac::new(
-                                        id,
-                                        LacKind::Ternary {
-                                            sns: [ds[i], ds[j], ds[k]],
-                                            tt,
-                                        },
-                                    ),
-                                ));
-                            }
-                        }
-                    }
-                }
-                tern.sort_by_key(|&(d, l)| (d, l.tn, sns_key(&l)));
-                for (_, l) in tern.into_iter().take(cfg.k_ternary) {
-                    out.push(l);
-                }
-            }
-        }
+        out.extend_from_slice(&gen_node(&ctx, id, &mut seen).cands);
     }
     out
 }
@@ -232,12 +486,6 @@ fn sns_key(l: &Lac) -> (u32, u32, u32) {
     let b = it.next().map_or(0, |n| n.index() as u32);
     let c = it.next().map_or(0, |n| n.index() as u32);
     (a, b, c)
-}
-
-fn push_unique(v: &mut Vec<NodeId>, n: NodeId) {
-    if !v.contains(&n) {
-        v.push(n);
-    }
 }
 
 fn hamming(a: &[u64], b: &[u64], neg: bool, n_patterns: usize) -> usize {
@@ -442,5 +690,70 @@ mod tests {
         let (tt, dev) = best_tt2(&sim, x.node(), a.node(), b.node(), 4).unwrap();
         assert_eq!(tt, if x.is_neg() { 0b1001 } else { 0b0110 });
         assert_eq!(dev, 0);
+    }
+
+    #[test]
+    fn divisor_probes_survive_truncation() {
+        // Ten locals would fill max_divisors = 8 on their own; the
+        // reserved slots must still admit both random extras, with the
+        // displaced locals backfilling only leftover space.
+        let n = |i: usize| NodeId::new(i);
+        let locals: Vec<NodeId> = (1..=10).map(n).collect();
+        let extras = [n(20), n(21)];
+        let divisors = assemble_divisors(&locals, &extras, 8);
+        assert_eq!(divisors.len(), 8);
+        assert!(divisors.contains(&n(20)), "first extra truncated: {divisors:?}");
+        assert!(divisors.contains(&n(21)), "second extra truncated: {divisors:?}");
+        assert_eq!(&divisors[..6], &locals[..6], "locals must keep priority");
+
+        // A duplicate or colliding extra frees its slot for backfill.
+        let dup = assemble_divisors(&locals, &[n(3), n(3)], 8);
+        assert_eq!(dup.len(), 8);
+        assert_eq!(dup.iter().filter(|&&v| v == n(3)).count(), 1);
+        assert!(dup.contains(&n(7)), "freed slot must backfill: {dup:?}");
+
+        // Fewer locals than the cap: everything fits, no duplicates.
+        let small = assemble_divisors(&locals[..3], &extras, 8);
+        assert_eq!(small.len(), 5);
+
+        // Degenerate caps never panic and never exceed the cap.
+        assert!(assemble_divisors(&locals, &extras, 1).len() <= 1);
+        assert!(assemble_divisors(&locals, &extras, 0).is_empty());
+    }
+
+    #[test]
+    fn generation_is_insensitive_to_foreign_nodes() {
+        // Per-node RNG streams: a node's candidates must not change when
+        // an unrelated part of the circuit changes, as long as its own
+        // generation inputs (neighborhood, sigs, visible pool prefix)
+        // are intact. Appending a *higher-level* dangling gate keeps
+        // every existing node's visible prefix and neighborhood, so all
+        // original candidates must be reproduced verbatim.
+        let g = adder();
+        let pats = Patterns::exhaustive(8);
+        let sim = simulate(&g, &pats);
+        let cfg = CandidateConfig::default();
+        let base = generate_candidates(&g, &sim, &cfg);
+
+        let mut h = g.clone();
+        let top = h
+            .and_ids()
+            .max_by_key(|&id| h.levels().unwrap()[id.index()])
+            .unwrap();
+        let lit = aig::Lit::new(top, false);
+        let extra = h.and(lit, h.pi(0));
+        h.add_output(extra, "extra");
+        let sim_h = simulate(&h, &pats);
+        let grown = generate_candidates(&h, &sim_h, &cfg);
+        // Every original candidate reappears, in order, within the
+        // grown circuit's list (the new node adds its own candidates
+        // and becomes a fanout of `top`, dirtying only `top`'s list).
+        let dirty: Vec<NodeId> = vec![top];
+        let kept: Vec<&Lac> = base.iter().filter(|l| !dirty.contains(&l.tn)).collect();
+        let grown_kept: Vec<&Lac> = grown
+            .iter()
+            .filter(|l| !dirty.contains(&l.tn) && l.tn != extra.node())
+            .collect();
+        assert_eq!(kept, grown_kept);
     }
 }

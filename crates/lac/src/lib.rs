@@ -33,9 +33,11 @@
 
 mod gen;
 mod kinds;
+mod store;
 
 pub use gen::{generate_candidates, CandidateConfig};
 pub use kinds::{Lac, LacKind};
+pub use store::{CandidateStore, DevMask, StoreStats};
 
 use aig::{Aig, AigError, Fanouts, Lit, NodeId, PatchLog};
 use std::fmt;

@@ -1,0 +1,747 @@
+//! Cross-round caching of per-node candidate lists and deviation masks.
+//!
+//! Regenerating every candidate from scratch each synthesis round is
+//! wasteful: a committed round edits a small dirty region of the AIG,
+//! and a node's candidates depend only on a bounded neighborhood. The
+//! [`CandidateStore`] keeps each live AND node's candidate list (plus
+//! the deviation mask of every candidate) across rounds, rolled forward
+//! through the cleanup remap under the same exact-invalidation
+//! discipline as `estimate::MaskCache`: an entry survives only if every
+//! input its generation read is provably unchanged, so the store's
+//! output is bit-identical to fresh [`crate::generate_candidates`].
+//!
+//! A node's generation reads:
+//!
+//! 1. its own structure, level, liveness, and signature;
+//! 2. the structure/signature/level/liveness of its *deps* — fanins,
+//!    grand-fanins, fanouts and their siblings, and every pool probe it
+//!    drew ([`crate::gen::NodeGen::deps`]);
+//! 3. the identity of its fanout *set* (a new consumer adds a sibling);
+//! 4. the outcome of its rendezvous probe draws over the visible
+//!    substitute pool.
+//!
+//! Conditions 1–2 mirror the mask cache's per-node cleanliness, with
+//! three strengthenings: signatures are compared on full words
+//! (candidate deviation masks are not pattern-masked); a *negated*
+//! remap image marks the node dirty, because candidate truth tables —
+//! unlike transfer masks — are phase sensitive; and fanins must match
+//! *positionally* (generation walks them in stored order, and
+//! [`aig::Aig::and`] canonicalizes operand order by literal value,
+//! which a cleanup's renumbering can flip). Condition 3 requires the
+//! old fanout list, remapped, to equal the new fanout list exactly and
+//! positionally — a plain cleanliness check is not enough, because a
+//! substitute node inherits its replaced target's consumers *through*
+//! the remap without any fanout becoming dirty. Condition 4 exploits
+//! that probes are drawn by highest rendezvous weight, not by pool
+//! position (see [`crate::gen::probe_tweaks`]): a draw changes only if
+//! a drawn node left the universe (a dep, caught by condition 2) or a
+//! node entered it — or re-entered with a changed signature — with a
+//! weight at or above the entry's stored selection floor, which the
+//! roll checks explicitly against every non-stable pool node in level
+//! range. Two residual order dependences get their own guards: the
+//! wire/divisor rankings break equal-deviation ties by node id, so a
+//! carried entry additionally requires the remap to be strictly
+//! order-preserving on its deps; and rendezvous *weight* ties (possible
+//! only between signature-identical pool nodes) break toward the
+//! earlier pool position, so stable pool nodes sharing a signature key
+//! whose relative order changed are demoted to dirty.
+//!
+//! Because [`crate::gen::gen_node`] draws from a per-node RNG stream
+//! keyed by the node's signature — which survival requires unchanged —
+//! a carried entry is exactly what fresh generation would produce, and
+//! dirty nodes can be regenerated in parallel in any order.
+
+use crate::gen::{build_pool, sig_key, CandidateConfig, GenCtx, SeenSet};
+use crate::kinds::{Lac, LacKind};
+use aig::{Aig, Fanouts, Lit, Node, NodeId};
+use bitsim::Sim;
+use parkit::ThreadPool;
+
+/// A candidate's sparse deviation mask: `words[k]` is a word index where
+/// the substituted function differs from the target's signature, and
+/// `bits[k]` the differing bits of that word. Computed once at
+/// generation; valid exactly as long as the entry survives (deviation
+/// reads only the target's and the substitutes' signatures, all of
+/// which the invalidation contract pins).
+#[derive(Debug, Clone)]
+pub struct DevMask {
+    /// Ascending word indices with nonzero deviation.
+    pub words: Box<[u32]>,
+    /// The deviation bits at each entry of `words`.
+    pub bits: Box<[u64]>,
+}
+
+impl DevMask {
+    /// Computes the deviation of `lac` against the target's signature,
+    /// using `scratch` (of `sim.stride()` words) as workspace.
+    pub fn of(sim: &Sim, lac: &Lac, scratch: &mut [u64]) -> Self {
+        lac.signature_into(sim, scratch);
+        let base = sim.sig(lac.tn);
+        let mut words = Vec::new();
+        let mut bits = Vec::new();
+        for (w, (&c, &b)) in scratch.iter().zip(base).enumerate() {
+            let d = c ^ b;
+            if d != 0 {
+                words.push(w as u32);
+                bits.push(d);
+            }
+        }
+        DevMask {
+            words: words.into_boxed_slice(),
+            bits: bits.into_boxed_slice(),
+        }
+    }
+}
+
+/// Counters describing store behaviour, for benches and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Calls to [`CandidateStore::generate`].
+    pub rounds: usize,
+    /// Generations that discarded every entry (no remap, shape or
+    /// config change).
+    pub flushes: usize,
+    /// Entries carried across a roll (candidate-list cache hits).
+    pub carried: usize,
+    /// Nodes whose candidates had to be regenerated (cache misses).
+    pub regenerated: usize,
+    /// Misses by first failed survival condition, for diagnosing carry
+    /// rates: target node not clean (structure/level/signature/phase),
+    /// fanout list changed, a dep unclean, dep id-order not preserved,
+    /// or a dirty pool node reaching a selection floor.
+    pub inv_target: usize,
+    pub inv_fanout: usize,
+    pub inv_deps: usize,
+    pub inv_dep_order: usize,
+    pub inv_pool: usize,
+}
+
+/// One node's surviving state.
+#[derive(Debug, Clone)]
+struct StoreEntry {
+    cands: Vec<Lac>,
+    devs: Vec<DevMask>,
+    deps: Vec<NodeId>,
+    fo_deps: Vec<NodeId>,
+    /// Rendezvous selection floors of the wire and extras draws (see
+    /// [`crate::gen::NodeGen`]): a pool node entering this target's
+    /// visible range invalidates the entry iff its weight reaches a
+    /// floor.
+    wire_floor: u64,
+    extra_floor: u64,
+    /// Store generation this entry was (re)built in, for tests and
+    /// diagnostics.
+    born: u64,
+}
+
+/// Persistent cross-round candidate generator. See the module docs for
+/// the invalidation contract; the headline guarantee is that
+/// [`CandidateStore::generate`] returns exactly what
+/// [`crate::generate_candidates`] would, at any thread count.
+#[derive(Debug, Default)]
+pub struct CandidateStore {
+    stride: usize,
+    n_patterns: usize,
+    generation: u64,
+    cfg_key: Option<CandidateConfig>,
+    entries: Vec<Option<StoreEntry>>,
+    // Snapshot of the revision `entries` belongs to.
+    snap_nodes: Vec<Node>,
+    snap_levels: Vec<u32>,
+    snap_live: Vec<bool>,
+    snap_sigs: Vec<u64>,
+    snap_pool: Vec<NodeId>,
+    stats: StoreStats,
+}
+
+/// The image of an old-revision literal under the cleanup remapping.
+fn image(remap: &[Option<Lit>], l: Lit) -> Option<Lit> {
+    remap
+        .get(l.node().index())
+        .copied()
+        .flatten()
+        .map(|r| Lit::new(r.node(), r.is_neg() ^ l.is_neg()))
+}
+
+/// Positive (non-negated) node image, or `None`.
+fn node_image(remap: &[Option<Lit>], n: NodeId) -> Option<NodeId> {
+    match image(remap, Lit::new(n, false)) {
+        Some(l) if !l.is_neg() => Some(l.node()),
+        _ => None,
+    }
+}
+
+impl CandidateStore {
+    /// An empty store; the first [`CandidateStore::generate`] fills it.
+    pub fn new() -> Self {
+        CandidateStore::default()
+    }
+
+    /// Monotone revision counter, bumped once per generate call.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Behaviour counters since construction.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Rolls the store forward to the circuit revision `(aig, sim)` and
+    /// returns the full candidate list, bit-identical to
+    /// [`crate::generate_candidates`] on the same inputs.
+    ///
+    /// `remap` maps node ids of the previous revision to literals of
+    /// `aig`, exactly as returned by [`aig::Aig::cleanup`] after the
+    /// round's edit; `None` (first round, or an unknown edit) flushes
+    /// every entry. Dirty nodes are regenerated on `pool`; results are
+    /// independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` does not match `aig`.
+    pub fn generate(
+        &mut self,
+        aig: &Aig,
+        sim: &Sim,
+        cfg: &CandidateConfig,
+        remap: Option<&[Option<Lit>]>,
+        pool: &'static ThreadPool,
+    ) -> Vec<Lac> {
+        assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
+        self.generation += 1;
+        self.stats.rounds += 1;
+        let n_new = aig.n_nodes();
+        let stride = sim.stride();
+        let levels = aig.levels().expect("acyclic");
+        let live = aig.live_mask();
+        let fanouts = Fanouts::build(aig);
+        let (pool_nodes, pool_levels) = build_pool(aig, &levels, &live);
+        let pool_keys = crate::gen::pool_sig_keys(sim, &pool_nodes);
+
+        let carried = if self.snap_nodes.is_empty()
+            || stride != self.stride
+            || sim.n_patterns() != self.n_patterns
+            || self.cfg_key.as_ref() != Some(cfg)
+        {
+            None
+        } else {
+            remap.and_then(|r| {
+                self.carry(aig, sim, cfg, &levels, &live, &fanouts, &pool_nodes, &pool_keys, r)
+            })
+        };
+        self.entries = match carried {
+            Some(entries) => entries,
+            None => {
+                if self.entries.iter().any(Option::is_some) {
+                    self.stats.flushes += 1;
+                }
+                vec![None; n_new]
+            }
+        };
+
+        // Regenerate every live AND node without a surviving entry, in
+        // parallel. gen_node depends only on (ctx, id), so chunking is
+        // unobservable in the results.
+        let dirty: Vec<NodeId> = aig
+            .and_ids()
+            .filter(|id| live[id.index()] && self.entries[id.index()].is_none())
+            .collect();
+        self.stats.regenerated += dirty.len();
+        if !dirty.is_empty() {
+            let ctx = GenCtx {
+                aig,
+                sim,
+                cfg,
+                levels: &levels,
+                live: &live,
+                fanouts: &fanouts,
+                pool: &pool_nodes,
+                pool_levels: &pool_levels,
+                pool_keys: &pool_keys,
+            };
+            let born = self.generation;
+            let chunk = dirty.len().div_ceil(pool.threads() * 2).max(1);
+            let built: Vec<Vec<StoreEntry>> =
+                pool.par_chunk_results(dirty.len(), chunk, |_, range| {
+                    let mut seen = SeenSet::new(n_new);
+                    let mut scratch = vec![0u64; stride];
+                    range
+                        .map(|k| {
+                            let g = crate::gen::gen_node(&ctx, dirty[k], &mut seen);
+                            let devs = g
+                                .cands
+                                .iter()
+                                .map(|c| DevMask::of(sim, c, &mut scratch))
+                                .collect();
+                            StoreEntry {
+                                cands: g.cands,
+                                devs,
+                                deps: g.deps,
+                                fo_deps: g.fo_deps,
+                                wire_floor: g.wire_floor,
+                                extra_floor: g.extra_floor,
+                                born,
+                            }
+                        })
+                        .collect()
+                });
+            let mut ids = dirty.iter();
+            for batch in built {
+                for e in batch {
+                    let id = ids.next().expect("one entry per dirty node");
+                    self.entries[id.index()] = Some(e);
+                }
+            }
+        }
+
+        // Snapshot this revision for the next roll.
+        self.stride = stride;
+        self.n_patterns = sim.n_patterns();
+        self.cfg_key = Some(cfg.clone());
+        self.snap_nodes = (0..n_new).map(|i| *aig.node(NodeId::new(i))).collect();
+        self.snap_sigs.clear();
+        self.snap_sigs.reserve(n_new * stride);
+        for i in 0..n_new {
+            self.snap_sigs.extend_from_slice(sim.sig(NodeId::new(i)));
+        }
+        self.snap_levels = levels;
+        self.snap_live = live;
+        self.snap_pool = pool_nodes;
+
+        let mut out = Vec::new();
+        for e in self.entries.iter().flatten() {
+            out.extend_from_slice(&e.cands);
+        }
+        out
+    }
+
+    /// Deviation masks aligned one-to-one with the flat candidate list
+    /// returned by the last [`CandidateStore::generate`] call.
+    pub fn devs(&self) -> Vec<&DevMask> {
+        self.entries
+            .iter()
+            .flatten()
+            .flat_map(|e| e.devs.iter())
+            .collect()
+    }
+
+    /// Computes the surviving entry table, or `None` to flush.
+    #[allow(clippy::too_many_arguments)]
+    fn carry(
+        &mut self,
+        aig: &Aig,
+        sim: &Sim,
+        cfg: &CandidateConfig,
+        levels: &[u32],
+        live: &[bool],
+        fanouts: &Fanouts,
+        pool_nodes: &[NodeId],
+        pool_keys: &[u64],
+        remap: &[Option<Lit>],
+    ) -> Option<Vec<Option<StoreEntry>>> {
+        let n_new = aig.n_nodes();
+
+        // Positive, collision-free preimages. A negated image (strash
+        // folding during cleanup) marks the node dirty rather than
+        // phase-correcting its truth tables — such images are rare.
+        let mut pre: Vec<Option<u32>> = vec![None; n_new];
+        let mut collide = vec![false; n_new];
+        for (p, img) in remap.iter().enumerate() {
+            if let Some(l) = img {
+                let m = l.node().index();
+                if pre[m].is_some() || l.is_neg() {
+                    collide[m] = true;
+                } else {
+                    pre[m] = Some(p as u32);
+                }
+            }
+        }
+
+        // Per-node cleanliness at two bars. `struct_clean`: identical
+        // structure and liveness through the remap — all a *fanout*
+        // contributes to generation (its fanins become siblings; its
+        // signature is never read), so unordered fanin comparison
+        // suffices. `clean` additionally requires equal level,
+        // full-word signature, and *ordered* fanin equality — the bar
+        // for the target itself, its local divisors, and its drawn
+        // probes: generation walks fanins and grand-fanins in stored
+        // order, and `Aig::and` canonicalizes operand order by literal
+        // value, which a compaction can legitimately flip. Full-word
+        // signatures (not pattern-masked) because deviation masks are
+        // stored verbatim.
+        let mut struct_clean = vec![false; n_new];
+        let mut clean = vec![false; n_new];
+        for m in 0..n_new {
+            let Some(p) = pre[m] else { continue };
+            if collide[m] {
+                continue;
+            }
+            let p = p as usize;
+            let id = NodeId::new(m);
+            struct_clean[m] = self
+                .snap_nodes
+                .get(p)
+                .is_some_and(|old| struct_eq(aig.node(id), old, remap))
+                && live[m] == self.snap_live[p];
+            clean[m] = struct_clean[m]
+                && self
+                    .snap_nodes
+                    .get(p)
+                    .is_some_and(|old| struct_eq_ordered(aig.node(id), old, remap))
+                && levels[m] == self.snap_levels[p]
+                && sim.sig(id) == &self.snap_sigs[p * self.stride..(p + 1) * self.stride];
+        }
+
+        // Pool-dirty nodes: members of the new pool that are *not* the
+        // positive image of an old pool node with identical level and
+        // signature — nodes that entered some target's probe universe,
+        // or changed the weight they present to it. An entry is
+        // invalidated when such a node, within the entry's visible
+        // level range, reaches one of its selection floors (it would
+        // now be drawn). Nodes that *left* a universe need no check
+        // here: if they were drawn they are deps (caught below), and
+        // an undrawn node sat below the floor, where its removal
+        // cannot alter the selection.
+        let mut stable = vec![false; n_new];
+        let mut stable_old_pos = vec![0u32; n_new];
+        for (op, &old) in self.snap_pool.iter().enumerate() {
+            if let Some(m) = node_image(remap, old) {
+                let p = old.index();
+                if levels[m.index()] == self.snap_levels[p]
+                    && sim.sig(m) == &self.snap_sigs[p * self.stride..(p + 1) * self.stride]
+                {
+                    stable[m.index()] = true;
+                    stable_old_pos[m.index()] = op as u32;
+                }
+            }
+        }
+        // Rendezvous ties: nodes with identical signatures share a key,
+        // hence present identical weights to every target, and the draw
+        // breaks such ties toward the earlier pool position. A tie
+        // between two *stable* nodes is therefore decided purely by
+        // their relative pool order — which a compaction can flip by
+        // renumbering. Demote every signature-key group of stable nodes
+        // whose relative order changed; demoted nodes join the dirty
+        // pool and are checked against the selection floors like any
+        // other entrant. (Ties between a stable node and a genuinely
+        // dirty one need no demotion: the dirty twin's equal weight
+        // already trips the `>=` floor check wherever the stable twin
+        // was drawn.)
+        let mut by_key: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        for (i, v) in pool_nodes.iter().enumerate() {
+            if stable[v.index()] {
+                by_key.entry(pool_keys[i]).or_default().push(v.index());
+            }
+        }
+        for members in by_key.values() {
+            if members.len() > 1
+                && !members
+                    .windows(2)
+                    .all(|w| stable_old_pos[w[0]] < stable_old_pos[w[1]])
+            {
+                for &m in members {
+                    stable[m] = false;
+                }
+            }
+        }
+        let dirty_pool: Vec<(u32, u64)> = pool_nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !stable[v.index()])
+            .map(|(i, v)| (levels[v.index()], pool_keys[i]))
+            .collect();
+
+        let mut old_entries = std::mem::take(&mut self.entries);
+        let mut out: Vec<Option<StoreEntry>> = vec![None; n_new];
+        let mut carried = 0usize;
+        for m in 0..n_new {
+            let Some(p) = pre[m].map(|p| p as usize) else {
+                continue;
+            };
+            if collide[m] {
+                continue;
+            }
+            let Some(entry) = old_entries.get_mut(p).and_then(Option::take) else {
+                continue;
+            };
+            if !clean[m] {
+                self.stats.inv_target += 1;
+                continue;
+            }
+            let id = NodeId::new(m);
+            // Exact positional fanout-list preservation: the fanout
+            // list is a generation input (each fanout contributes its
+            // other fanin as a sibling divisor, discovered in list
+            // order), and a substitute node silently inherits its
+            // replaced target's consumers *through* the remap — so the
+            // old fanouts, remapped, must be exactly the new list.
+            // `struct_clean` then pins each fanout's sibling edges.
+            let fos = fanouts.of(id);
+            let fo_ok = fos.len() == entry.fo_deps.len()
+                && entry
+                    .fo_deps
+                    .iter()
+                    .zip(fos)
+                    .all(|(&d, &f)| node_image(remap, d) == Some(f) && struct_clean[f.index()]);
+            if !fo_ok {
+                self.stats.inv_fanout += 1;
+                continue;
+            }
+            if !entry
+                .deps
+                .iter()
+                .all(|&d| node_image(remap, d).is_some_and(|i| clean[i.index()]))
+            {
+                self.stats.inv_deps += 1;
+                continue;
+            }
+            // Wire ranking and binary/ternary divisor keys break
+            // equal-deviation ties by node id, so the remap must
+            // preserve the relative id order of everything those
+            // rankings compared — all deps (stored ascending; images
+            // must stay strictly ascending).
+            let dep_order_ok = {
+                let mut last = -1i64;
+                entry.deps.iter().all(|&d| match node_image(remap, d) {
+                    Some(i) => {
+                        let ix = i.index() as i64;
+                        let ok = ix > last;
+                        last = ix;
+                        ok
+                    }
+                    None => false,
+                })
+            };
+            if !dep_order_ok {
+                self.stats.inv_dep_order += 1;
+                continue;
+            }
+            let pool_ok = {
+                let lvl = levels[m];
+                dirty_pool.is_empty() || {
+                    let (wt, et) = crate::gen::probe_tweaks(cfg.seed, sig_key(sim.sig(id)));
+                    !dirty_pool.iter().any(|&(dl, dk)| {
+                        dl <= lvl
+                            && (crate::gen::pair_weight(wt, dk) >= entry.wire_floor
+                                || crate::gen::pair_weight(et, dk) >= entry.extra_floor)
+                    })
+                }
+            };
+            if !pool_ok {
+                self.stats.inv_pool += 1;
+                continue;
+            }
+            out[m] = Some(remap_entry(entry, id, remap));
+            carried += 1;
+        }
+        self.stats.carried += carried;
+        Some(out)
+    }
+
+    /// The generation the entry of `n` was last rebuilt in, if any
+    /// (diagnostics / tests).
+    #[doc(hidden)]
+    pub fn entry_born(&self, n: NodeId) -> Option<u64> {
+        self.entries.get(n.index()).and_then(Option::as_ref).map(|e| e.born)
+    }
+}
+
+/// Rewrites a surviving entry into new-revision node ids. Every id it
+/// references is a clean dep (or the target itself), so positive images
+/// are guaranteed.
+fn remap_entry(mut e: StoreEntry, new_tn: NodeId, remap: &[Option<Lit>]) -> StoreEntry {
+    let img = |n: NodeId| node_image(remap, n).expect("surviving entries reference clean nodes");
+    for c in &mut e.cands {
+        c.tn = new_tn;
+        match &mut c.kind {
+            LacKind::Constant(_) => {}
+            LacKind::Wire { sn, .. } => *sn = img(*sn),
+            LacKind::Binary { sns, .. } => {
+                for s in sns.iter_mut() {
+                    *s = img(*s);
+                }
+            }
+            LacKind::Ternary { sns, .. } => {
+                for s in sns.iter_mut() {
+                    *s = img(*s);
+                }
+            }
+        }
+    }
+    for d in &mut e.deps {
+        *d = img(*d);
+    }
+    for d in &mut e.fo_deps {
+        *d = img(*d);
+    }
+    e
+}
+
+/// Structural equality of a new node against its old preimage, with the
+/// old fanins carried through the remapping (unordered, since strash
+/// may normalize fanin order).
+fn struct_eq(new: &Node, old: &Node, remap: &[Option<Lit>]) -> bool {
+    match (new, old) {
+        (Node::Const0, Node::Const0) => true,
+        (Node::Input(a), Node::Input(b)) => a == b,
+        (Node::And(a, b), Node::And(oa, ob)) => {
+            let (Some(ia), Some(ib)) = (image(remap, *oa), image(remap, *ob)) else {
+                return false;
+            };
+            (ia == *a && ib == *b) || (ia == *b && ib == *a)
+        }
+        _ => false,
+    }
+}
+
+/// Like [`struct_eq`], but the fanins must match *positionally*.
+/// Generation walks fanins and grand-fanins in stored order, and
+/// [`Aig::and`] canonicalizes operand order by literal value — which a
+/// cleanup's renumbering can legitimately flip — so nodes whose fanin
+/// *order* changed must not be treated as clean generation inputs.
+fn struct_eq_ordered(new: &Node, old: &Node, remap: &[Option<Lit>]) -> bool {
+    match (new, old) {
+        (Node::And(a, b), Node::And(oa, ob)) => {
+            image(remap, *oa) == Some(*a) && image(remap, *ob) == Some(*b)
+        }
+        _ => struct_eq(new, old, remap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_candidates;
+    use bitsim::{simulate, Patterns};
+
+    fn leaked_pool(threads: usize) -> &'static ThreadPool {
+        Box::leak(Box::new(ThreadPool::new(threads)))
+    }
+
+    #[test]
+    fn first_generation_matches_fresh() {
+        let g = benchgen::adders::rca(8);
+        let pats = Patterns::exhaustive(16);
+        let sim = simulate(&g, &pats);
+        let cfg = CandidateConfig::default();
+        let fresh = generate_candidates(&g, &sim, &cfg);
+        for threads in [1, 4] {
+            let mut store = CandidateStore::new();
+            let got = store.generate(&g, &sim, &cfg, None, leaked_pool(threads));
+            assert_eq!(got, fresh, "threads={threads}");
+            assert_eq!(store.devs().len(), got.len());
+        }
+    }
+
+    #[test]
+    fn rolled_generation_matches_fresh_and_carries() {
+        let g0 = benchgen::adders::rca(8);
+        let pats = Patterns::random(16, 256, 7);
+        let sim0 = simulate(&g0, &pats);
+        let cfg = CandidateConfig::default();
+        let mut store = CandidateStore::new();
+        let cands0 = store.generate(&g0, &sim0, &cfg, None, leaked_pool(2));
+        assert!(!cands0.is_empty());
+
+        // Apply a wire LAC at the latest target (smallest transitive
+        // fanout — in a ripple-carry adder an early-bit edit would
+        // legitimately dirty the whole carry chain) and clean up.
+        let pick = cands0
+            .iter()
+            .rev()
+            .find(|l| matches!(l.kind, LacKind::Wire { .. }))
+            .expect("some wire candidate");
+        let mut g1 = g0.clone();
+        crate::apply(&mut g1, pick).unwrap();
+        let remap = g1.cleanup().unwrap();
+        let sim1 = simulate(&g1, &pats);
+
+        let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(2));
+        let fresh = generate_candidates(&g1, &sim1, &cfg);
+        assert_eq!(rolled, fresh);
+        let stats = store.stats();
+        assert!(stats.carried > 0, "roll carried nothing: {stats:?}");
+
+        // Dev masks match a direct recomputation.
+        let devs = store.devs();
+        assert_eq!(devs.len(), rolled.len());
+        let mut scratch = vec![0u64; sim1.stride()];
+        for (lac, dev) in rolled.iter().zip(&devs) {
+            let direct = DevMask::of(&sim1, lac, &mut scratch);
+            assert_eq!(dev.words, direct.words, "{lac}: dev words drifted");
+            assert_eq!(dev.bits, direct.bits, "{lac}: dev bits drifted");
+        }
+    }
+
+    #[test]
+    fn touched_fanout_sibling_forces_regeneration() {
+        // X = a & b and S = T & e share the fanout F = X & S, making S
+        // (well, S's cone) part of X's generation inputs via the
+        // fanout-sibling divisors. Replacing S by the wire T must
+        // regenerate X — even though X's own fanins, level, and
+        // signature are untouched — while the unrelated same-level
+        // control node W = e & f survives the roll.
+        let mut g = Aig::new("sib", 6);
+        let (a, b, c, d, e, f) =
+            (g.pi(0), g.pi(1), g.pi(2), g.pi(3), g.pi(4), g.pi(5));
+        let x = g.and(a, b);
+        let t = g.and(c, d);
+        let s = g.and(t, e);
+        let fo = g.and(x, s);
+        let w = g.and(e, f);
+        g.add_output(fo, "fo");
+        g.add_output(w, "w");
+        g.add_output(t, "t"); // keep T live after S is bypassed
+
+        let pats = Patterns::exhaustive(6);
+        let sim = simulate(&g, &pats);
+        let cfg = CandidateConfig::default();
+        let mut store = CandidateStore::new();
+        store.generate(&g, &sim, &cfg, None, leaked_pool(1));
+        assert_eq!(store.entry_born(x.node()), Some(1));
+        assert_eq!(store.entry_born(w.node()), Some(1));
+
+        let mut g1 = g.clone();
+        crate::apply(
+            &mut g1,
+            &Lac::new(s.node(), LacKind::Wire { sn: t.node(), neg: false }),
+        )
+        .unwrap();
+        let remap = g1.cleanup().unwrap();
+        let sim1 = simulate(&g1, &pats);
+        let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(1));
+        assert_eq!(rolled, generate_candidates(&g1, &sim1, &cfg));
+
+        let x1 = remap[x.node().index()].unwrap().node();
+        let w1 = remap[w.node().index()].unwrap().node();
+        assert_eq!(
+            store.entry_born(x1),
+            Some(2),
+            "sibling edit must dirty X: {:?}",
+            store.stats()
+        );
+        assert_eq!(
+            store.entry_born(w1),
+            Some(1),
+            "unrelated node must survive: {:?}",
+            store.stats()
+        );
+    }
+
+    #[test]
+    fn config_change_flushes() {
+        let g = benchgen::adders::rca(4);
+        let pats = Patterns::exhaustive(8);
+        let sim = simulate(&g, &pats);
+        let mut store = CandidateStore::new();
+        store.generate(&g, &sim, &CandidateConfig::default(), None, leaked_pool(1));
+        let altered = CandidateConfig { k_wire: 5, ..CandidateConfig::default() };
+        let identity: Vec<Option<Lit>> = (0..g.n_nodes())
+            .map(|i| Some(Lit::new(NodeId::new(i), false)))
+            .collect();
+        let got = store.generate(&g, &sim, &altered, Some(&identity), leaked_pool(1));
+        assert_eq!(got, generate_candidates(&g, &sim, &altered));
+        assert_eq!(store.stats().flushes, 1);
+    }
+}

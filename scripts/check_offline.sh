@@ -21,16 +21,19 @@ if [ "$QUICK" -eq 0 ]; then
     cargo test -q --workspace --offline
 fi
 
-# Lint the crates the trial-evaluation stack touches. Gated on clippy
-# being installed so a bare-toolchain checkout still passes tier-1.
+# Lint the crates the incremental round pipeline touches. Gated on
+# clippy being installed so a bare-toolchain checkout still passes
+# tier-1.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== lint (offline): cargo clippy -D warnings =="
     cargo clippy --offline -p aig -p bitsim -p errmetrics -p lac \
-        -p accals -p accals-bench -- -D warnings
+        -p estimate -p accals -p accals-bench -- -D warnings
 else
     echo "== lint: cargo clippy not installed, skipping =="
 fi
 
+# The smoke run itself asserts that the incremental round pipeline
+# (trials + candidate store) commits bit-identically to the fresh path.
 echo "== bench smoke (offline): bench_flow --smoke =="
 cargo run --release --offline -p accals-bench --bin bench_flow -- --smoke
 

@@ -1,0 +1,171 @@
+//! Bit-exactness guarantees of the cross-round candidate store.
+//!
+//! `lac::CandidateStore` promises that incremental candidate generation
+//! is unobservable: after any sequence of committed edits, cleanups, and
+//! node remappings, the rolled store returns the *identical* `Vec<Lac>`
+//! that `lac::generate_candidates` computes from scratch on the same
+//! circuit revision — same candidates, same order — and the deviation
+//! masks it carries reproduce the same scored `ΔE` down to the last
+//! mantissa bit, at any thread count. The same promise lifts to the
+//! whole flow: with incremental candidate generation on or off, at any
+//! thread count, `synthesize` commits the identical circuit through the
+//! identical round sequence.
+
+use accals::{Accals, AccalsConfig, SizeParam};
+use aig::{Aig, Lit};
+use bitsim::{simulate, Patterns};
+use errmetrics::{ErrorEval, MetricKind};
+use estimate::{BatchEstimator, MaskCache};
+use lac::{generate_candidates, CandidateConfig, CandidateStore, Lac, ScoredLac};
+use parkit::ThreadPool;
+use prng::rngs::StdRng;
+use prng::seq::SliceRandom;
+use prng::SeedableRng;
+
+fn circuit(name: &str) -> Aig {
+    benchgen::suite::by_name(name).expect("known suite circuit")
+}
+
+fn leaked_pool(threads: usize) -> &'static ThreadPool {
+    Box::leak(Box::new(ThreadPool::new(threads)))
+}
+
+fn assert_scores_identical(a: &[ScoredLac], b: &[ScoredLac], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.lac, y.lac, "{what}: candidate order changed");
+        assert_eq!(x.gain, y.gain, "{what}: gain differs for {}", x.lac);
+        assert_eq!(
+            x.delta_e.to_bits(),
+            y.delta_e.to_bits(),
+            "{what}: ΔE differs for {}: {} vs {}",
+            x.lac,
+            x.delta_e,
+            y.delta_e
+        );
+    }
+}
+
+/// Runs `n_rounds` of randomized commit/cleanup/remap on `name`,
+/// asserting at every revision that the rolled store reproduces fresh
+/// generation bit-for-bit (candidate lists *and* cached-deviation
+/// scores), and that at least one roll actually carried entries.
+fn assert_rounds_equivalent(name: &str, kind: MetricKind, threads: usize, n_rounds: usize) {
+    let golden = circuit(name);
+    let pats = Patterns::random(golden.n_pis(), 2048, 0x57_0E_5EED);
+    let golden_sigs = simulate(&golden, &pats).output_sigs(&golden);
+    let pool = leaked_pool(threads);
+    let cfg = CandidateConfig::default();
+    let what = |r: usize| format!("{name} {kind:?} threads={threads} round {r}");
+
+    let mut store = CandidateStore::new();
+    let mut cache = MaskCache::new();
+    let mut rng = StdRng::seed_from_u64(0xC0_FFEE ^ threads as u64);
+    let mut current = golden.clone();
+    let mut remap: Option<Vec<Option<Lit>>> = None;
+
+    for round in 0..n_rounds {
+        let sim = simulate(&current, &pats);
+        let mut eval = ErrorEval::new(kind, &golden_sigs, pats.n_patterns());
+        eval.rebase(&sim.output_sigs(&current));
+
+        let fresh = generate_candidates(&current, &sim, &cfg);
+        let rolled = store.generate(&current, &sim, &cfg, remap.as_deref(), pool);
+        assert_eq!(fresh, rolled, "{}: candidate lists differ", what(round));
+
+        let fresh_scored = BatchEstimator::new(&current, &sim, &eval)
+            .use_pool(pool)
+            .score_all(&fresh);
+        let rolled_scored =
+            BatchEstimator::with_cache(&current, &sim, &eval, &mut cache, remap.as_deref())
+                .use_pool(pool)
+                .score_all_cached(&rolled, &store.devs());
+        assert_scores_identical(&fresh_scored, &rolled_scored, &what(round));
+
+        // Randomized commit: pick up to two safe LACs at distinct
+        // high-id targets (small fanout cones, so signature churn stays
+        // local) from the best quartile, apply, clean up, and roll the
+        // remap forward.
+        let mut safe: Vec<&ScoredLac> = fresh_scored.iter().filter(|s| s.gain > 0).collect();
+        if safe.is_empty() {
+            break;
+        }
+        safe.sort_by(|a, b| {
+            a.delta_e
+                .partial_cmp(&b.delta_e)
+                .unwrap()
+                .then(b.lac.tn.cmp(&a.lac.tn))
+        });
+        safe.truncate((safe.len() / 4).max(1));
+        safe.sort_by(|a, b| b.lac.tn.cmp(&a.lac.tn));
+        safe.truncate(8);
+        let mut picked: Vec<Lac> = Vec::new();
+        for s in safe.choose_multiple(&mut rng, safe.len()) {
+            if picked.iter().all(|l| l.tn != s.lac.tn) {
+                picked.push(s.lac);
+            }
+            if picked.len() == 2 {
+                break;
+            }
+        }
+        let report = lac::apply_all(&mut current, &picked);
+        assert!(report.applied > 0, "{}: nothing applied", what(round));
+        remap = Some(current.cleanup().expect("editing keeps the graph acyclic"));
+    }
+
+    let stats = store.stats();
+    assert!(
+        stats.carried > 0,
+        "{name} threads={threads}: no entries ever carried: {stats:?}"
+    );
+}
+
+#[test]
+fn rolled_store_matches_fresh_generation_rca32() {
+    for threads in [1usize, 2, 8] {
+        assert_rounds_equivalent("rca32", MetricKind::Er, threads, 5);
+    }
+}
+
+#[test]
+fn rolled_store_matches_fresh_generation_mtp8() {
+    for threads in [1usize, 2, 8] {
+        assert_rounds_equivalent("mtp8", MetricKind::Nmed, threads, 5);
+    }
+}
+
+#[test]
+fn synthesis_is_identical_across_candgen_paths_and_thread_counts() {
+    for (name, bound) in [("rca32", 0.05), ("mtp8", 0.02)] {
+        let golden = circuit(name);
+        let mut reference: Option<(usize, u64, usize, Vec<(usize, u64, usize)>)> = None;
+        for incremental in [false, true] {
+            for threads in [1usize, 2, 8] {
+                let mut cfg = AccalsConfig::new(MetricKind::Er, bound);
+                cfg.r_ref = SizeParam::Fixed(40);
+                cfg.r_sel = SizeParam::Fixed(8);
+                cfg.incremental_candgen = incremental;
+                let result = Accals::new(cfg)
+                    .with_pool(leaked_pool(threads))
+                    .synthesize(&golden);
+                let key = (
+                    result.aig.n_ands(),
+                    result.error.to_bits(),
+                    result.rounds.len(),
+                    result
+                        .rounds
+                        .iter()
+                        .map(|r| (r.applied, r.e_after.to_bits(), r.n_ands_after))
+                        .collect::<Vec<_>>(),
+                );
+                match &reference {
+                    None => reference = Some(key),
+                    Some(r) => assert_eq!(
+                        *r, key,
+                        "{name}: incremental={incremental} threads={threads} diverged"
+                    ),
+                }
+            }
+        }
+    }
+}

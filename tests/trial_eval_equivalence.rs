@@ -137,7 +137,7 @@ fn trial_measure_matches_committed_path_mid_synthesis() {
     // every round after the first sees: the error replay must account
     // for already-deviating outputs, not just fresh flips.
     let g = circuit("rca32");
-    let pats = Patterns::random(g.n_pis(), 2048, 0xDE_6B_A5E);
+    let pats = Patterns::random(g.n_pis(), 2048, 0x0DE6_BA5E);
     let golden_sigs = simulate(&g, &pats).output_sigs(&g);
 
     let sim0 = simulate(&g, &pats);
