@@ -339,6 +339,162 @@ impl Aig {
     pub fn disable_strash(&mut self) {
         self.invalidate_strash();
     }
+
+    /// Validates the graph's internal consistency and returns the first
+    /// violated invariant as a human-readable message.
+    ///
+    /// Checks the node-table shape (constant node, input block, AND
+    /// region), fanin ranges, acyclicity, level monotonicity, agreement
+    /// of the structural-hash table with the node table (when hashing
+    /// is enabled), and agreement of [`crate::Fanouts`] with a direct
+    /// fanin walk. Intended for debug assertions and fuzz harnesses —
+    /// it is `O(nodes + edges)` plus a hash-map walk, not a production
+    /// path.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Node-table shape.
+        if !matches!(self.nodes.first(), Some(Node::Const0)) {
+            return Err("node 0 is not Const0".into());
+        }
+        if self.pi_names.len() != self.n_pis {
+            return Err(format!(
+                "{} pi names for {} inputs",
+                self.pi_names.len(),
+                self.n_pis
+            ));
+        }
+        for i in 0..self.n_pis {
+            match self.nodes.get(1 + i) {
+                Some(Node::Input(k)) if *k as usize == i => {}
+                other => return Err(format!("node {} should be Input({i}), is {other:?}", 1 + i)),
+            }
+        }
+        let n = self.nodes.len();
+        for (i, node) in self.nodes.iter().enumerate().skip(1 + self.n_pis) {
+            let Node::And(a, b) = node else {
+                return Err(format!("node {i} in the AND region is {node:?}"));
+            };
+            for l in [a, b] {
+                if l.node().index() >= n {
+                    return Err(format!("node {i} fanin {l} out of range ({n} nodes)"));
+                }
+            }
+        }
+        for (o, out) in self.outputs.iter().enumerate() {
+            if out.lit.node().index() >= n {
+                return Err(format!("output {o} ({}) out of range ({n} nodes)", out.lit));
+            }
+        }
+
+        // Acyclicity, plus level monotonicity recomputed independently
+        // of `levels()` over the topological order.
+        let order = self
+            .topo_order()
+            .map_err(|e| format!("not a DAG: {e}"))?;
+        let levels = self.levels().map_err(|e| format!("levels failed: {e}"))?;
+        let mut seen = vec![false; n];
+        for id in order {
+            if let Node::And(a, b) = self.node(id) {
+                for l in [a, b] {
+                    if !seen[l.node().index()] {
+                        return Err(format!("topo order visits {id:?} before fanin {l}"));
+                    }
+                }
+                let want = 1 + levels[a.node().index()].max(levels[b.node().index()]);
+                if levels[id.index()] != want {
+                    return Err(format!(
+                        "level of {id:?} is {}, fanins imply {want}",
+                        levels[id.index()]
+                    ));
+                }
+            } else if levels[id.index()] != 0 {
+                return Err(format!("leaf {id:?} has nonzero level"));
+            }
+            seen[id.index()] = true;
+        }
+
+        // Structural-hash agreement: while hashing is enabled, the map
+        // and the AND region are in bijection and every gate is stored
+        // in canonical operand order.
+        if self.strash_enabled {
+            if self.strash.len() != self.n_ands() {
+                return Err(format!(
+                    "strash holds {} entries for {} AND gates",
+                    self.strash.len(),
+                    self.n_ands()
+                ));
+            }
+            for (&(ar, br), &id) in &self.strash {
+                if ar > br {
+                    return Err(format!("strash key ({ar}, {br}) not canonical"));
+                }
+                match self.nodes.get(id.index()) {
+                    Some(Node::And(a, b)) if a.raw() == ar && b.raw() == br => {}
+                    other => {
+                        return Err(format!(
+                            "strash entry ({ar}, {br}) -> {id:?} mismatches node {other:?}"
+                        ))
+                    }
+                }
+            }
+            for id in self.and_ids() {
+                let Node::And(a, b) = self.node(id) else {
+                    unreachable!("AND region checked above");
+                };
+                if a.raw() > b.raw() {
+                    return Err(format!("{id:?} operands not in canonical order"));
+                }
+                if self.strash.get(&(a.raw(), b.raw())) != Some(&id) {
+                    return Err(format!("{id:?} missing from (or aliased in) strash"));
+                }
+            }
+        }
+
+        // Fanout-index agreement with a direct fanin walk: every listed
+        // fanout is a real consumer, per-node list lengths and output
+        // reference counts match an independent count.
+        let fanouts = crate::topo::Fanouts::build(self);
+        let mut fo_count = vec![0u32; n];
+        for id in self.and_ids() {
+            if let Node::And(a, b) = self.node(id) {
+                fo_count[a.node().index()] += 1;
+                if b.node() != a.node() {
+                    fo_count[b.node().index()] += 1;
+                }
+            }
+        }
+        let mut out_count = vec![0u32; n];
+        for out in &self.outputs {
+            out_count[out.lit.node().index()] += 1;
+        }
+        for i in 0..n {
+            let id = NodeId::new(i);
+            let listed = fanouts.of(id);
+            if listed.len() != fo_count[i] as usize {
+                return Err(format!(
+                    "node {i}: fanout list has {} entries, fanin walk counts {}",
+                    listed.len(),
+                    fo_count[i]
+                ));
+            }
+            for &f in listed {
+                let consumes = matches!(
+                    self.nodes.get(f.index()),
+                    Some(Node::And(a, b)) if a.node() == id || b.node() == id
+                );
+                if !consumes {
+                    return Err(format!("node {i}: listed fanout {f:?} is not a consumer"));
+                }
+            }
+            if fanouts.output_refs(id) != out_count[i] {
+                return Err(format!(
+                    "node {i}: {} output refs listed, {} outputs reference it",
+                    fanouts.output_refs(id),
+                    out_count[i]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,60 @@ impl Sim {
         assert!(p < self.n_patterns);
         self.sig(n)[p / 64] >> (p % 64) & 1 == 1
     }
+
+    /// Verifies that this simulation is a fixpoint of `aig`: the node
+    /// count matches, the constant node reads all-zero, and every AND
+    /// node's signature equals the AND of its (possibly complemented)
+    /// fanin signatures on all valid pattern bits.
+    ///
+    /// Returns the first inconsistency as a human-readable message.
+    /// Used by fuzz harnesses to cross-check incremental resimulation;
+    /// `O(nodes × stride)`, not a production path.
+    pub fn check_consistent(&self, aig: &Aig) -> Result<(), String> {
+        if self.n_nodes() != aig.n_nodes() {
+            return Err(format!(
+                "simulation covers {} nodes, circuit has {}",
+                self.n_nodes(),
+                aig.n_nodes()
+            ));
+        }
+        let mask = |w: usize| {
+            let rem = self.n_patterns.saturating_sub(w * 64);
+            if rem >= 64 {
+                u64::MAX
+            } else if rem == 0 {
+                0
+            } else {
+                (1u64 << rem) - 1
+            }
+        };
+        for id in aig.node_ids() {
+            match *aig.node(id) {
+                Node::Input(_) => {}
+                Node::Const0 => {
+                    for (w, &v) in self.sig(id).iter().enumerate() {
+                        if v & mask(w) != 0 {
+                            return Err(format!("Const0 signature nonzero in word {w}"));
+                        }
+                    }
+                }
+                Node::And(a, b) => {
+                    let (sa, sb) = (self.sig(a.node()), self.sig(b.node()));
+                    let s = self.sig(id);
+                    for w in 0..self.stride {
+                        let wa = sa[w] ^ if a.is_neg() { u64::MAX } else { 0 };
+                        let wb = sb[w] ^ if b.is_neg() { u64::MAX } else { 0 };
+                        if (s[w] ^ (wa & wb)) & mask(w) != 0 {
+                            return Err(format!(
+                                "node {id:?} signature disagrees with {a} & {b} in word {w}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Simulates `aig` on the whole pattern set, producing a signature for

@@ -221,6 +221,25 @@ impl MaskCache {
                 if let Some((p, _)) = pre[m] {
                     mark_old_fanins(p as usize, &mut lost_sources);
                 }
+                // A rewired node also feeds its readers a value, and a
+                // reader's masks embedded the value its *old* fanin had
+                // at that position. If the new value differs anywhere —
+                // or there is nothing to compare against — the readers'
+                // cones are contaminated exactly as in condition 2. The
+                // readers themselves can be structurally clean (replace
+                // rewires consumers in place), and their own values can
+                // stay unchanged when the deviation is masked at their
+                // other fanin, so nothing else marks them.
+                let value_preserved = !collide[m]
+                    && pre[m].is_some_and(|(p, neg)| {
+                        (p as usize) < self.snap_nodes.len()
+                            && self.sig_matches(sim, id, p as usize, neg)
+                    });
+                if !value_preserved {
+                    for &f in fanouts.of(id) {
+                        marked[f.index()] = true;
+                    }
+                }
                 continue;
             }
             let (p, neg) = pre[m].expect("clean nodes have a preimage");

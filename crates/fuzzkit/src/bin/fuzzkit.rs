@@ -1,0 +1,138 @@
+//! Soak runner for the differential fuzzer.
+//!
+//! ```text
+//! fuzzkit [--seed 0xHEX] [--iters N] [--fault none|store-fanout]
+//!         [--repro '<line>'] [--smoke] [--quiet]
+//! ```
+//!
+//! Without `--repro`, runs `--iters` randomized cases from the seed
+//! stream; on the first oracle violation the case is shrunk and the
+//! one-line repro printed, and the process exits nonzero. With
+//! `--repro`, replays exactly one case from its repro line. `--smoke`
+//! is the fixed CI configuration (pinned seed, small iteration count).
+
+use std::process::ExitCode;
+
+use fuzzkit::{run_case, shrink, Fault, FuzzCase};
+
+const SMOKE_SEED: u64 = 0xacca15;
+const SMOKE_ITERS: u64 = 10;
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    fault: Fault,
+    repro: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: SMOKE_SEED,
+        iters: 200,
+        fault: Fault::None,
+        repro: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                let v = v.strip_prefix("0x").unwrap_or(&v);
+                args.seed =
+                    u64::from_str_radix(v, 16).map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?;
+            }
+            "--fault" => {
+                args.fault = match value("--fault")?.as_str() {
+                    "none" => Fault::None,
+                    "store-fanout" => Fault::StoreSkipFanout,
+                    other => return Err(format!("unknown fault `{other}`")),
+                };
+            }
+            "--repro" => args.repro = Some(value("--repro")?),
+            "--smoke" => {
+                args.seed = SMOKE_SEED;
+                args.iters = SMOKE_ITERS;
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fuzzkit [--seed 0xHEX] [--iters N] \
+                     [--fault none|store-fanout] [--repro '<line>'] [--smoke] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzzkit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(line) = &args.repro {
+        let case: FuzzCase = match line.parse() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fuzzkit: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match run_case(&case) {
+            Ok(stats) => {
+                println!("repro passed: {stats:?}");
+                ExitCode::SUCCESS
+            }
+            Err(f) => {
+                println!("{f}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut ran = 0u64;
+    let failure = fuzzkit::soak(args.seed, args.iters, args.fault, |i, outcome| {
+        ran = i + 1;
+        if !args.quiet && outcome.is_none() && (i + 1) % 50 == 0 {
+            println!("  ... {} cases clean", i + 1);
+        }
+    });
+    match failure {
+        None => {
+            println!(
+                "fuzzkit: {ran} cases clean (seed {:#x}, fault {:?})",
+                args.seed, args.fault
+            );
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            println!("fuzzkit: failure at case {}:\n{f}", ran.saturating_sub(1));
+            println!("shrinking...");
+            let r = shrink(&f.case, 200);
+            println!(
+                "shrunk after {} runs (oracle `{}`):\n  {}",
+                r.runs,
+                r.failure.oracle,
+                r.case
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Structured random circuit generation.
+//!
+//! Two sources: free-form random DAGs with controlled depth/fanout
+//! ([`random_aig`]), and `benchgen` arithmetic circuits perturbed by
+//! random rewiring edits ([`mutated_bench`]). Both are pure functions
+//! of their seed, so a failing case is reproducible from its knobs
+//! alone.
+
+use aig::{Aig, Lit, NodeId};
+use prng::{rngs::StdRng, Rng, SeedableRng};
+
+/// Builds a random AIG with `n_pis` inputs, about `n_ands` gates, and
+/// `n_outs` outputs.
+///
+/// Fanins are drawn with a recency bias (half the draws come from the
+/// most recent few literals), which yields deep, narrow cones alongside
+/// wide shallow ones — the mix the incremental caches care about.
+/// Structural hashing may fold some draws, so the gate count is a
+/// target, not a guarantee.
+pub fn random_aig(seed: u64, n_pis: usize, n_ands: usize, n_outs: usize) -> Aig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Aig::new("fuzz-rand", n_pis);
+    let mut lits: Vec<Lit> = (0..n_pis).map(|i| g.pi(i)).collect();
+
+    let mut attempts = n_ands * 4 + 8;
+    while g.n_ands() < n_ands && attempts > 0 {
+        attempts -= 1;
+        let pick = |rng: &mut StdRng, lits: &[Lit]| {
+            let i = if rng.gen_bool(0.5) && lits.len() > 8 {
+                lits.len() - 1 - rng.gen_range(0..8usize)
+            } else {
+                rng.gen_range(0..lits.len())
+            };
+            let l = lits[i];
+            if rng.gen_bool(0.5) {
+                !l
+            } else {
+                l
+            }
+        };
+        let a = pick(&mut rng, &lits);
+        let b = pick(&mut rng, &lits);
+        let l = g.and(a, b);
+        if !l.is_const() {
+            lits.push(l);
+        }
+    }
+
+    // The most recent literal always drives output 0, so the deepest
+    // logic stays live; further outputs sample the tail half.
+    let last = *lits.last().expect("inputs are always available");
+    g.add_output(last, "y0");
+    for o in 1..n_outs.max(1) {
+        let lo = lits.len() / 2;
+        let i = rng.gen_range(lo..lits.len());
+        let l = if rng.gen_bool(0.3) { !lits[i] } else { lits[i] };
+        g.add_output(l, format!("y{o}"));
+    }
+    g
+}
+
+/// Builds a small `benchgen` arithmetic circuit selected by `which` and
+/// perturbs it with up to `n_muts` random [`Aig::replace`] edits
+/// (cycle-creating draws are skipped), then compacts. The mutated
+/// circuit — not the pristine one — is the fuzz case's golden
+/// reference.
+pub fn mutated_bench(seed: u64, which: u8, n_muts: usize) -> Aig {
+    let mut g = match which % 3 {
+        0 => benchgen::adders::rca(3),
+        1 => benchgen::multipliers::array_multiplier(2),
+        _ => benchgen::alu::alu(2, 2),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut applied = 0usize;
+    let mut attempts = n_muts * 6;
+    while applied < n_muts && attempts > 0 {
+        attempts -= 1;
+        let n_nodes = g.n_nodes();
+        if g.n_ands() == 0 {
+            break;
+        }
+        let tn = NodeId::new(rng.gen_range(1 + g.n_pis()..n_nodes));
+        let with = NodeId::new(rng.gen_range(0..n_nodes));
+        let lit = Lit::new(with, rng.gen_bool(0.5));
+        if with != tn && g.replace(tn, lit).is_ok() {
+            applied += 1;
+        }
+    }
+    if applied > 0 {
+        g.cleanup().expect("mutations keep the graph acyclic");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_circuits_satisfy_invariants() {
+        for seed in 0..40u64 {
+            let g = random_aig(seed, 3 + (seed % 6) as usize, 4 + (seed % 30) as usize, 3);
+            g.check_invariants()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(g.n_pos() >= 1);
+        }
+    }
+
+    #[test]
+    fn mutated_benches_satisfy_invariants() {
+        for seed in 0..20u64 {
+            for which in 0..3u8 {
+                let g = mutated_bench(seed, which, (seed % 4) as usize);
+                g.check_invariants()
+                    .unwrap_or_else(|e| panic!("seed {seed} which {which}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_aig(7, 5, 20, 2);
+        let b = random_aig(7, 5, 20, 2);
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        for id in a.node_ids() {
+            assert_eq!(a.node(id), b.node(id));
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! The random operation-sequence driver and its differential oracles.
+//!
+//! [`run_case`] replays a [`FuzzCase`] as a sequence of operations over
+//! one circuit — synthesis rounds (candidate generation, batch
+//! estimation, trial evaluation, optional commit), raw rewiring edits,
+//! and cleanup/compaction passes — while holding every incremental path
+//! to its contract:
+//!
+//! | incremental path            | oracle                                            |
+//! |-----------------------------|---------------------------------------------------|
+//! | `aig` editing/compaction    | [`Aig::check_invariants`] after every operation   |
+//! | incremental resimulation    | [`Sim::check_consistent`] fixpoint check          |
+//! | `lac::CandidateStore`       | fresh [`generate_candidates`] lists + `DevMask` recomputation |
+//! | `estimate::MaskCache`       | fresh [`BatchEstimator::new`] ΔE bits at 1/2/8 threads |
+//! | `accals::TrialEval`         | clone → `apply_all` → `cleanup` → resimulate → re-measure |
+//! | `errmetrics` end to end     | BDD exact error vs exhaustive simulation (≤14 inputs) |
+//!
+//! All floating-point comparisons on the incremental paths are
+//! *bit-identical* (`f64::to_bits`); only the BDD oracle uses an
+//! epsilon, since it computes through a different summation order.
+
+use std::sync::{Arc, OnceLock};
+
+use accals::conflict::find_solve_conflicts;
+use accals::TrialEval;
+use aig::{Aig, Lit, NodeId};
+use bitsim::{simulate, ConeTopology, Patterns};
+use errmetrics::{ErrorEval, MetricKind};
+use estimate::{BatchEstimator, MaskCache};
+use lac::{
+    apply_all, generate_candidates, CandidateConfig, CandidateStore, DevMask, Lac, ScoredLac,
+};
+use parkit::ThreadPool;
+use prng::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{gen, Fault, FuzzCase, Source};
+
+/// A differential-oracle violation (or a driver-level contract miss),
+/// tied to the case and operation that produced it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The case that failed; `case.to_string()` is the one-line repro.
+    pub case: FuzzCase,
+    /// Index of the failing operation (`n_ops` for the final BDD pass).
+    pub op: usize,
+    /// Which oracle tripped, e.g. `candidate-store/list`.
+    pub oracle: String,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+impl Failure {
+    /// The single-line seed repro for this failure.
+    pub fn repro_line(&self) -> String {
+        self.case.to_string()
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "oracle `{}` failed at op {}: {}\n  repro: {}",
+            self.oracle,
+            self.op,
+            self.detail,
+            self.case
+        )
+    }
+}
+
+/// What a passing case exercised, for soak-run visibility.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// Synthesis rounds executed.
+    pub rounds: usize,
+    /// Candidates cross-checked between store and fresh generation.
+    pub candidates: usize,
+    /// Trial sets measured against the committed path.
+    pub trials: usize,
+    /// LAC sets committed.
+    pub commits: usize,
+    /// Raw rewiring edits applied.
+    pub raw_edits: usize,
+    /// BDD exact-error comparisons performed.
+    pub bdd_checks: usize,
+}
+
+/// The thread counts every scoring comparison runs at.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn pools() -> &'static [&'static ThreadPool; 3] {
+    static POOLS: OnceLock<[&'static ThreadPool; 3]> = OnceLock::new();
+    POOLS.get_or_init(|| THREADS.map(|t| &*Box::leak(Box::new(ThreadPool::new(t)))))
+}
+
+/// The image of an old-revision literal under a cleanup remapping.
+fn image(remap: &[Option<Lit>], l: Lit) -> Option<Lit> {
+    remap
+        .get(l.node().index())
+        .copied()
+        .flatten()
+        .map(|r| Lit::new(r.node(), r.is_neg() ^ l.is_neg()))
+}
+
+/// Composes two cleanup remaps: `old` (revision A → B) followed by
+/// `new` (B → C) gives A → C. Nodes appended after revision A need no
+/// preimage, so the composed map covers exactly A's table.
+fn compose_remaps(old: &[Option<Lit>], new: &[Option<Lit>]) -> Vec<Option<Lit>> {
+    old.iter()
+        .map(|l| l.and_then(|l| image(new, l)))
+        .collect()
+}
+
+fn identity_remap(n: usize) -> Vec<Option<Lit>> {
+    (0..n)
+        .map(|i| Some(Lit::new(NodeId::new(i), false)))
+        .collect()
+}
+
+struct Driver<'c> {
+    case: &'c FuzzCase,
+    op: usize,
+    rng: StdRng,
+    kind: MetricKind,
+    pats: Patterns,
+    golden: Aig,
+    golden_sigs: Vec<Vec<u64>>,
+    current: Aig,
+    store: CandidateStore,
+    mask_cache: MaskCache,
+    /// Remap from the revision the caches last snapshotted to
+    /// `current`; `None` flushes (first round, or an edit declared
+    /// unknown on purpose).
+    last_remap: Option<Vec<Option<Lit>>>,
+    ccfg: CandidateConfig,
+    stats: CaseStats,
+}
+
+impl<'c> Driver<'c> {
+    fn fail(&self, oracle: &str, detail: String) -> Failure {
+        Failure {
+            case: *self.case,
+            op: self.op,
+            oracle: oracle.to_string(),
+            detail,
+        }
+    }
+
+    fn check_graph(&self, what: &str, g: &Aig) -> Result<(), Failure> {
+        g.check_invariants()
+            .map_err(|e| self.fail("aig/invariants", format!("{what}: {e}")))
+    }
+
+    /// One synthesis round: simulate, cross-check candidate generation
+    /// and scoring at every thread count, trial-measure a few sets, and
+    /// maybe commit one.
+    fn round(&mut self) -> Result<(), Failure> {
+        self.stats.rounds += 1;
+        let sim = simulate(&self.current, &self.pats);
+        sim.check_consistent(&self.current)
+            .map_err(|e| self.fail("bitsim/fixpoint", e))?;
+        self.check_graph("round start", &self.current)?;
+
+        let mut eval = ErrorEval::new(self.kind, &self.golden_sigs, self.pats.n_patterns());
+        eval.rebase(&sim.output_sigs(&self.current));
+
+        // Candidate store vs fresh generation: same lists, same masks.
+        let fresh = generate_candidates(&self.current, &sim, &self.ccfg);
+        let stored = self.store.generate(
+            &self.current,
+            &sim,
+            &self.ccfg,
+            self.last_remap.as_deref(),
+            pools()[2],
+        );
+        if stored != fresh {
+            let detail = describe_list_diff(&stored, &fresh);
+            return Err(self.fail("candidate-store/list", detail));
+        }
+        let devs = self.store.devs();
+        if devs.len() != fresh.len() {
+            return Err(self.fail(
+                "candidate-store/devmask",
+                format!("{} masks for {} candidates", devs.len(), fresh.len()),
+            ));
+        }
+        let mut scratch = vec![0u64; sim.stride()];
+        for (lac, dev) in fresh.iter().zip(&devs) {
+            let direct = DevMask::of(&sim, lac, &mut scratch);
+            if dev.words != direct.words || dev.bits != direct.bits {
+                return Err(self.fail(
+                    "candidate-store/devmask",
+                    format!("deviation of `{lac}` drifted from direct recomputation"),
+                ));
+            }
+        }
+        self.stats.candidates += fresh.len();
+
+        // Scoring: fresh estimators at 1/2/8 threads set the reference;
+        // the cached estimator (rolled once with the real remap, then
+        // with identity remaps) and the devmask-reusing path must all
+        // be bit-identical to it.
+        let reference = BatchEstimator::new(&self.current, &sim, &eval)
+            .use_pool(pools()[0])
+            .score_all(&fresh);
+        for (t, pool) in THREADS.iter().zip(pools()).skip(1) {
+            let scores = BatchEstimator::new(&self.current, &sim, &eval)
+                .use_pool(pool)
+                .score_all(&fresh);
+            if let Some(d) = score_diff(&reference, &scores) {
+                return Err(self.fail("estimate/threads", format!("fresh at {t} threads: {d}")));
+            }
+        }
+        let identity = identity_remap(self.current.n_nodes());
+        for (i, (t, pool)) in THREADS.iter().zip(pools()).enumerate() {
+            let remap = if i == 0 {
+                self.last_remap.as_deref()
+            } else {
+                Some(identity.as_slice())
+            };
+            let scores =
+                BatchEstimator::with_cache(&self.current, &sim, &eval, &mut self.mask_cache, remap)
+                    .use_pool(pool)
+                    .score_all(&fresh);
+            if let Some(d) = score_diff(&reference, &scores) {
+                return Err(self.fail("mask-cache/score", format!("cached at {t} threads: {d}")));
+            }
+        }
+        let cached_devs = BatchEstimator::with_cache(
+            &self.current,
+            &sim,
+            &eval,
+            &mut self.mask_cache,
+            Some(identity.as_slice()),
+        )
+        .use_pool(pools()[1])
+        .score_all_cached(&fresh, &devs);
+        if let Some(d) = score_diff(&reference, &cached_devs) {
+            return Err(self.fail("mask-cache/score_all_cached", d));
+        }
+
+        // Trial evaluation vs the committed path, then maybe commit.
+        let mut committed = false;
+        if !reference.is_empty() && self.rng.gen_bool(0.9) {
+            let topo = ConeTopology::build(&self.current);
+            let mut trial = TrialEval::new(&self.current, &sim, &eval, Arc::clone(&topo));
+            let n_sets = self.rng.gen_range(1..=2);
+            let mut last_set: Vec<ScoredLac> = Vec::new();
+            for _ in 0..n_sets {
+                let set = pick_set(&mut self.rng, &reference);
+                if set.is_empty() {
+                    continue;
+                }
+                let m = trial.measure(&set, true);
+                self.stats.trials += 1;
+
+                let mut ref_aig = self.current.clone();
+                let lacs: Vec<Lac> = set.iter().map(|s| s.lac).collect();
+                let ref_report = apply_all(&mut ref_aig, &lacs);
+                ref_aig
+                    .cleanup()
+                    .map_err(|e| self.fail("aig/cleanup", format!("reference commit: {e}")))?;
+                self.check_graph("reference commit", &ref_aig)?;
+                let ref_sim = simulate(&ref_aig, &self.pats);
+                let mut ref_eval =
+                    ErrorEval::new(self.kind, &self.golden_sigs, self.pats.n_patterns());
+                ref_eval.rebase(&ref_sim.output_sigs(&ref_aig));
+                let e_ref = ref_eval.current();
+
+                if m.report != ref_report {
+                    return Err(self.fail(
+                        "trial-eval/report",
+                        format!("trial {:?} vs committed {:?}", m.report, ref_report),
+                    ));
+                }
+                if m.e_after.to_bits() != e_ref.to_bits() {
+                    return Err(self.fail(
+                        "trial-eval/error",
+                        format!(
+                            "set of {}: trial {:.17e} vs committed {:.17e}",
+                            set.len(),
+                            m.e_after,
+                            e_ref
+                        ),
+                    ));
+                }
+                if m.n_ands_after != Some(ref_aig.n_ands()) {
+                    return Err(self.fail(
+                        "trial-eval/area",
+                        format!(
+                            "trial previews {:?} gates, committed has {}",
+                            m.n_ands_after,
+                            ref_aig.n_ands()
+                        ),
+                    ));
+                }
+                last_set = set;
+            }
+
+            if !last_set.is_empty() && self.rng.gen_bool(0.8) {
+                let lacs: Vec<Lac> = last_set.iter().map(|s| s.lac).collect();
+                apply_all(&mut self.current, &lacs);
+                let remap = self
+                    .current
+                    .cleanup()
+                    .map_err(|e| self.fail("aig/cleanup", format!("commit: {e}")))?;
+                self.check_graph("after commit", &self.current)?;
+                self.last_remap = Some(remap);
+                self.stats.commits += 1;
+                committed = true;
+            }
+        }
+        if !committed {
+            self.last_remap = Some(identity);
+        }
+        Ok(())
+    }
+
+    /// A raw (non-LAC) rewiring edit followed by cleanup. Usually the
+    /// caches receive the composed remap — proving they survive edits
+    /// the flow never makes — but sometimes the edit is declared
+    /// unknown to exercise the flush path.
+    fn raw_edit(&mut self) -> Result<(), Failure> {
+        let n_nodes = self.current.n_nodes();
+        if self.current.n_ands() == 0 {
+            return Ok(());
+        }
+        for _ in 0..8 {
+            let tn = NodeId::new(self.rng.gen_range(1 + self.current.n_pis()..n_nodes));
+            let with = NodeId::new(self.rng.gen_range(0..n_nodes));
+            if with == tn {
+                continue;
+            }
+            let lit = Lit::new(with, self.rng.gen_bool(0.5));
+            if self.current.replace(tn, lit).is_ok() {
+                let remap = self
+                    .current
+                    .cleanup()
+                    .map_err(|e| self.fail("aig/cleanup", format!("raw edit: {e}")))?;
+                self.check_graph("after raw edit", &self.current)?;
+                self.last_remap = if self.rng.gen_bool(0.25) {
+                    None // exercise the flush path
+                } else {
+                    self.last_remap
+                        .as_ref()
+                        .map(|prev| compose_remaps(prev, &remap))
+                };
+                self.stats.raw_edits += 1;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// A cleanup/compaction pass with no preceding edit; the remap (a
+    /// renumbering at most) composes into the pending roll.
+    fn cleanup_only(&mut self) -> Result<(), Failure> {
+        let remap = self
+            .current
+            .cleanup()
+            .map_err(|e| self.fail("aig/cleanup", format!("cleanup op: {e}")))?;
+        self.check_graph("after cleanup", &self.current)?;
+        self.last_remap = self
+            .last_remap
+            .as_ref()
+            .map(|prev| compose_remaps(prev, &remap));
+        Ok(())
+    }
+
+    /// The BDD exact-error oracle: on exhaustive samples the measured
+    /// error *is* the true error, so it must agree with exact BDD model
+    /// counting over the same pair of circuits.
+    fn bdd_oracle(&mut self) -> Result<(), Failure> {
+        if self.case.n_patterns != 0 || self.golden.n_pis() > 14 {
+            return Ok(());
+        }
+        let limit = 1 << 20;
+        if let Ok(exact) = bdd::exact::error_rate(&self.golden, &self.current, limit) {
+            let sampled = errmetrics::measure(MetricKind::Er, &self.golden, &self.current, &self.pats);
+            if (exact - sampled).abs() > 1e-9 {
+                return Err(self.fail(
+                    "bdd/error-rate",
+                    format!("exact {exact:.17e} vs exhaustive-sim {sampled:.17e}"),
+                ));
+            }
+            self.stats.bdd_checks += 1;
+        }
+        if self.golden.n_pos() <= 20 {
+            if let Ok(exact) = bdd::exact::mean_error_distance(&self.golden, &self.current, limit) {
+                let sampled =
+                    errmetrics::measure(MetricKind::Med, &self.golden, &self.current, &self.pats);
+                if (exact - sampled).abs() > 1e-9 * exact.abs().max(1.0) {
+                    return Err(self.fail(
+                        "bdd/med",
+                        format!("exact {exact:.17e} vs exhaustive-sim {sampled:.17e}"),
+                    ));
+                }
+                self.stats.bdd_checks += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A small conflict-free candidate set sampled from the scored list.
+fn pick_set(rng: &mut StdRng, scored: &[ScoredLac]) -> Vec<ScoredLac> {
+    let m = rng.gen_range(1..=4usize.min(scored.len()));
+    let mut idx: Vec<usize> = (0..scored.len()).collect();
+    for k in 0..m {
+        let j = rng.gen_range(k..idx.len());
+        idx.swap(k, j);
+    }
+    let sample: Vec<ScoredLac> = idx[..m].iter().map(|&i| scored[i].clone()).collect();
+    find_solve_conflicts(&sample)
+}
+
+/// Where the candidate lists first diverged, for failure reports.
+fn describe_list_diff(stored: &[Lac], fresh: &[Lac]) -> String {
+    if stored.len() != fresh.len() {
+        return format!("store returned {} candidates, fresh {}", stored.len(), fresh.len());
+    }
+    for (i, (s, f)) in stored.iter().zip(fresh).enumerate() {
+        if s != f {
+            return format!("candidate {i}: store `{s}` vs fresh `{f}`");
+        }
+    }
+    "lists differ".to_string()
+}
+
+/// First bit-level divergence between two scored lists, if any.
+fn score_diff(a: &[ScoredLac], b: &[ScoredLac]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("{} vs {} scores", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.lac != y.lac {
+            return Some(format!("candidate {i}: `{}` vs `{}`", x.lac, y.lac));
+        }
+        if x.delta_e.to_bits() != y.delta_e.to_bits() {
+            return Some(format!(
+                "candidate {i} (`{}`): ΔE {:.17e} vs {:.17e}",
+                x.lac, x.delta_e, y.delta_e
+            ));
+        }
+        if x.gain != y.gain {
+            return Some(format!(
+                "candidate {i} (`{}`): gain {} vs {}",
+                x.lac, x.gain, y.gain
+            ));
+        }
+    }
+    None
+}
+
+/// Replays `case` from scratch and reports the first oracle violation.
+///
+/// Deterministic: the same case always produces the same result, at any
+/// host thread count (all parallel paths are compared at pinned 1/2/8
+/// thread pools and must agree bit-for-bit anyway). A panic anywhere in
+/// the driven stack — an internal `expect`, a debug assertion, an
+/// out-of-bounds index — is caught and reported as a failure under the
+/// `panic` oracle, so contract violations that trip a crate's own
+/// integrity checks still shrink to a one-line repro.
+pub fn run_case(case: &FuzzCase) -> Result<CaseStats, Failure> {
+    let op_at = std::cell::Cell::new(0usize);
+    match quiet_catch(|| run_case_inner(case, &op_at)) {
+        Ok(result) => result,
+        Err(msg) => Err(Failure {
+            case: *case,
+            op: op_at.get(),
+            oracle: "panic".to_string(),
+            detail: msg,
+        }),
+    }
+}
+
+/// Runs `f` with panics caught and — for panics raised on this thread —
+/// not printed, so an expected failure replayed hundreds of times by the
+/// shrinker does not flood stderr. The hook is installed once and
+/// forwards to the previous hook whenever the panicking thread is not
+/// inside a `quiet_catch`.
+fn quiet_catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    use std::panic;
+    thread_local! {
+        static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    }
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+    let was = QUIET.with(|q| q.replace(true));
+    let result = panic::catch_unwind(panic::AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(was));
+    result.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+/// The golden circuit a case starts from — the reference every error
+/// measurement inside [`run_case`] is taken against. Public so tests can
+/// assert size bounds on shrunk repros.
+pub fn golden_circuit(case: &FuzzCase) -> Aig {
+    match case.source {
+        Source::Random => gen::random_aig(
+            crate::stream_u64(case.seed, 1),
+            case.n_pis.max(2),
+            case.n_ands.max(1),
+            3,
+        ),
+        Source::Bench(k) => gen::mutated_bench(crate::stream_u64(case.seed, 1), k, case.n_ands),
+    }
+}
+
+fn run_case_inner(case: &FuzzCase, op_at: &std::cell::Cell<usize>) -> Result<CaseStats, Failure> {
+    let golden = golden_circuit(case);
+    let mut rng = StdRng::seed_from_u64(crate::stream_u64(case.seed, 2));
+    let kind = MetricKind::ALL[rng.gen_range(0..MetricKind::ALL.len())];
+    let pats = if case.n_patterns == 0 {
+        Patterns::exhaustive(golden.n_pis())
+    } else {
+        Patterns::random(golden.n_pis(), case.n_patterns, crate::stream_u64(case.seed, 3))
+    };
+    let golden_sim = simulate(&golden, &pats);
+    let golden_sigs = golden_sim.output_sigs(&golden);
+
+    let mut store = CandidateStore::new();
+    if case.fault == Fault::StoreSkipFanout {
+        store.inject_skip_fanout_invalidation(true);
+    }
+    let mut drv = Driver {
+        case,
+        op: 0,
+        rng,
+        kind,
+        pats,
+        current: golden.clone(),
+        golden,
+        golden_sigs,
+        store,
+        mask_cache: MaskCache::new(),
+        last_remap: None,
+        // Smaller probe budgets than the synthesis default keep soak
+        // throughput high without narrowing the candidate families.
+        ccfg: CandidateConfig {
+            max_wire_probes: 16,
+            max_divisors: 6,
+            ternaries: true,
+            seed: crate::stream_u64(case.seed, 4),
+            ..CandidateConfig::default()
+        },
+        stats: CaseStats::default(),
+    };
+    drv.check_graph("initial circuit", &drv.current)?;
+
+    let trace = std::env::var_os("FUZZKIT_TRACE").is_some();
+    for op in 0..case.n_ops {
+        drv.op = op;
+        op_at.set(op);
+        let kind = drv.rng.gen_range(0..10u32);
+        if trace {
+            eprintln!(
+                "[fuzzkit] op {op}: {} (nodes={}, ands={}, remap={})",
+                match kind {
+                    0 => "cleanup",
+                    1 => "raw-edit",
+                    _ => "round",
+                },
+                drv.current.n_nodes(),
+                drv.current.n_ands(),
+                match &drv.last_remap {
+                    None => "none".to_string(),
+                    Some(r) => format!("{}", r.len()),
+                },
+            );
+        }
+        match kind {
+            0 => drv.cleanup_only()?,
+            1 => drv.raw_edit()?,
+            _ => drv.round()?,
+        }
+    }
+    drv.op = case.n_ops;
+    op_at.set(case.n_ops);
+    drv.bdd_oracle()?;
+    Ok(drv.stats)
+}

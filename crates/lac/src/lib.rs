@@ -257,6 +257,15 @@ pub struct ApplyReport {
 /// Panics if the graph is cyclic on entry or a LAC is structurally
 /// invalid (bad target or out-of-range node).
 pub fn apply_all(aig: &mut Aig, lacs: &[Lac]) -> ApplyReport {
+    // Replacement cones must be built from fresh nodes: with structural
+    // hashing live, the first LAC's cone could merge onto an existing
+    // gate that a *later* batch member then replaces, silently rewiring
+    // the earlier cone to an approximated version of its inputs — a
+    // different function than the one scored and trial-measured. With
+    // fresh cones, conflict-freedom (no substitute equals another
+    // target) guarantees no new cone references a later target, so the
+    // batch is order-independent and matches [`apply_all_trial`].
+    aig.disable_strash();
     // Order by topological position of the target for determinism.
     let order = aig.topo_order().expect("graph must be acyclic");
     let mut pos = vec![0u32; aig.n_nodes()];

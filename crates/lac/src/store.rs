@@ -152,6 +152,10 @@ pub struct CandidateStore {
     snap_sigs: Vec<u64>,
     snap_pool: Vec<NodeId>,
     stats: StoreStats,
+    /// Test-support fault injection: skip survival condition 3 (exact
+    /// fanout-list preservation) during carry. See
+    /// [`CandidateStore::inject_skip_fanout_invalidation`].
+    skip_fanout_invalidation: bool,
 }
 
 /// The image of an old-revision literal under the cleanup remapping.
@@ -484,7 +488,7 @@ impl CandidateStore {
                     .iter()
                     .zip(fos)
                     .all(|(&d, &f)| node_image(remap, d) == Some(f) && struct_clean[f.index()]);
-            if !fo_ok {
+            if !fo_ok && !self.skip_fanout_invalidation {
                 self.stats.inv_fanout += 1;
                 continue;
             }
@@ -544,6 +548,17 @@ impl CandidateStore {
     #[doc(hidden)]
     pub fn entry_born(&self, n: NodeId) -> Option<u64> {
         self.entries.get(n.index()).and_then(Option::as_ref).map(|e| e.born)
+    }
+
+    /// Test-support fault injection: when enabled, carry skips survival
+    /// condition 3 (exact positional fanout-list preservation), so an
+    /// entry whose target silently inherited new consumers through the
+    /// remap is carried stale. The `fuzzkit` harness uses this to prove
+    /// its differential oracles catch a deliberately broken invalidation
+    /// contract. Never enable outside tests.
+    #[doc(hidden)]
+    pub fn inject_skip_fanout_invalidation(&mut self, on: bool) {
+        self.skip_fanout_invalidation = on;
     }
 }
 

@@ -64,3 +64,28 @@ proptest! {
         prop_assert!(set.windows(2).all(|w| w[0] < w[1]));
     }
 }
+
+proptest! {
+    // The wide soak: 1000 seeded cases on graphs up to 18 vertices.
+    // Brute force is too slow here, so `exact` (verified against brute
+    // force above on <=12 vertices) serves as the optimum reference.
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    #[test]
+    fn heuristics_are_valid_on_wider_graphs(g in random_graph(18)) {
+        let opt = exact(&g);
+        prop_assert!(g.is_independent(&opt));
+        prop_assert!(g.is_maximal(&opt));
+
+        let greedy = greedy_min_degree(&g);
+        prop_assert!(g.is_independent(&greedy));
+        prop_assert!(g.is_maximal(&greedy));
+        prop_assert!(greedy.len() <= opt.len());
+
+        let ls = local_search(&g, greedy.clone(), 30, 7);
+        prop_assert!(g.is_independent(&ls));
+        prop_assert!(g.is_maximal(&ls));
+        prop_assert!(ls.len() >= greedy.len());
+        prop_assert!(ls.len() <= opt.len());
+    }
+}

@@ -27,7 +27,7 @@ fi
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== lint (offline): cargo clippy -D warnings =="
     cargo clippy --offline -p aig -p bitsim -p errmetrics -p lac \
-        -p estimate -p accals -p accals-bench -- -D warnings
+        -p estimate -p accals -p accals-bench -p fuzzkit -- -D warnings
 else
     echo "== lint: cargo clippy not installed, skipping =="
 fi
@@ -36,5 +36,11 @@ fi
 # (trials + candidate store) commits bit-identically to the fresh path.
 echo "== bench smoke (offline): bench_flow --smoke =="
 cargo run --release --offline -p accals-bench --bin bench_flow -- --smoke
+
+# Fixed-seed smoke fuzz: a short deterministic soak of the differential
+# oracles (mask cache, candidate store, trial eval, BDD exact error) —
+# any divergence prints a one-line repro and fails the check.
+echo "== fuzz smoke (offline): fuzzkit --smoke =="
+cargo run --release --offline -p fuzzkit --bin fuzzkit -- --smoke
 
 echo "check_offline: OK"

@@ -1,0 +1,35 @@
+//! Bounded deterministic fuzz soak, run as part of `cargo test`.
+//!
+//! Every case replays a fixed-seed random operation sequence over a
+//! random circuit while cross-checking the incremental caches
+//! (`estimate::MaskCache`, `lac::CandidateStore`, `accals::TrialEval`)
+//! against fresh recomputation at 1/2/8 threads, plus the BDD exact
+//! error oracle — see `crates/fuzzkit`. The default iteration count is
+//! small enough for CI; raise it for a longer soak:
+//!
+//! ```text
+//! ACCALS_FUZZ_ITERS=2000 cargo test -q --test fuzz_bounded
+//! ```
+
+use fuzzkit::{soak, Fault};
+
+fn iters(default: u64) -> u64 {
+    std::env::var("ACCALS_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn bounded_soak_is_clean() {
+    if let Some(f) = soak(0xacca15, iters(30), Fault::None, |_, _| {}) {
+        panic!("fuzz failure (repro with `cargo run -p fuzzkit -- --repro '<line>'`):\n{f}");
+    }
+}
+
+#[test]
+fn bounded_soak_second_seed_is_clean() {
+    if let Some(f) = soak(0xdeadbeef, iters(30).min(100), Fault::None, |_, _| {}) {
+        panic!("fuzz failure (repro with `cargo run -p fuzzkit -- --repro '<line>'`):\n{f}");
+    }
+}
