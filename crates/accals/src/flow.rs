@@ -1,6 +1,6 @@
 use crate::conflict::find_solve_conflicts;
 use crate::indep::select_indep_lacs;
-use crate::topset::obtain_top_set;
+use crate::topset::obtain_top_set_from;
 use crate::trace::RoundTrace;
 use crate::trial::{TrialEval, TrialMeasure};
 use crate::AccalsConfig;
@@ -117,11 +117,11 @@ impl SynthesisResult {
     /// round), for offline analysis of a synthesis run.
     pub fn trace_csv(&self) -> String {
         let mut s = String::from(
-            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after,candgen_ms,mask_ms,score_ms,select_ms,trial_ms,commit_ms\n",
+            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after,scored_exact,scored_pruned,candgen_ms,mask_ms,score_ms,select_ms,trial_ms,commit_ms\n",
         );
         for t in &self.rounds {
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
                 t.round,
                 t.single_mode,
                 t.n_candidates,
@@ -137,6 +137,8 @@ impl SynthesisResult {
                 t.e_after,
                 t.e_est,
                 t.n_ands_after,
+                t.scored_exact,
+                t.scored_pruned,
                 t.candgen_ms,
                 t.mask_ms,
                 t.score_ms,
@@ -254,23 +256,55 @@ impl Accals {
                 last_remap.as_deref(),
             )
             .use_pool(self.pool);
-            let mut scored = if cfg.incremental_candgen {
-                estimator.score_all_cached(&cands, &cand_store.devs())
+            // Pruned scoring only ever needs candidates that can enter
+            // the round's top set: `r_top` never exceeds
+            // `max(r_ref, r_min)` (ties at the minimum are always scored
+            // exactly), and the single-mode ladder looks at the first
+            // 64 — so `max(r_ref, 64)` exact scores cover every consumer.
+            let k_topk = r_ref.max(64);
+            let (mut scored, topk_stats) = if cfg.pruned_scoring {
+                let (s, stats) = if cfg.incremental_candgen {
+                    estimator.score_topk_cached(&cands, &cand_store.devs(), k_topk)
+                } else {
+                    estimator.score_topk(&cands, k_topk)
+                };
+                (s, Some(stats))
             } else {
-                estimator.score_all(&cands)
+                let s = if cfg.incremental_candgen {
+                    estimator.score_all_cached(&cands, &cand_store.devs())
+                } else {
+                    estimator.score_all(&cands)
+                };
+                (s, None)
             };
             let phases = estimator.phases();
             // A LAC must reduce hardware cost; changes that cost more
-            // nodes than their MFFC frees are not LACs at all.
-            scored.retain(|s| s.gain > 0);
+            // nodes than their MFFC frees are not LACs at all. The top-k
+            // path already filtered them before scoring.
+            let (n_cands_eff, scored_exact, scored_pruned) = match topk_stats {
+                Some(st) => (st.n_candidates, st.n_exact, st.n_pruned),
+                None => {
+                    scored.retain(|s| s.gain > 0);
+                    (scored.len(), scored.len(), 0)
+                }
+            };
             if scored.is_empty() {
                 break;
             }
 
             let single_mode = e > cfg.l_e * cfg.error_bound;
             let (next, mut t, remap) = if single_mode {
-                self.single_round(&current, &golden_sigs, pats, &sim, &eval, scored, e)
-                    .expect("scored list is non-empty")
+                self.single_round(
+                    &current,
+                    &golden_sigs,
+                    pats,
+                    &sim,
+                    &eval,
+                    scored,
+                    n_cands_eff,
+                    e,
+                )
+                .expect("scored list is non-empty")
             } else {
                 let (n1, t1, r1) = self
                     .multi_round(
@@ -280,6 +314,7 @@ impl Accals {
                         &sim,
                         &eval,
                         scored.clone(),
+                        n_cands_eff,
                         e,
                         r_ref,
                         r_sel,
@@ -297,14 +332,25 @@ impl Accals {
                     // scored list: the expensive simulate + estimate work
                     // is already paid for, so this stays one round rather
                     // than burning a fresh estimation pass on the retry.
-                    self.single_round(&current, &golden_sigs, pats, &sim, &eval, scored, e)
-                        .expect("scored list is non-empty")
+                    self.single_round(
+                        &current,
+                        &golden_sigs,
+                        pats,
+                        &sim,
+                        &eval,
+                        scored,
+                        n_cands_eff,
+                        e,
+                    )
+                    .expect("scored list is non-empty")
                 }
             };
             t.round = round;
             t.candgen_ms = candgen_ms;
             t.mask_ms = phases.mask_ms;
             t.score_ms = phases.score_ms;
+            t.scored_exact = scored_exact;
+            t.scored_pruned = scored_pruned;
             let e_after = t.e_after;
             let applied = t.applied;
             let shrunk = next.n_ands() < current.n_ands();
@@ -424,9 +470,9 @@ impl Accals {
         sim: &Sim,
         eval: &ErrorEval,
         scored: Vec<ScoredLac>,
+        n_candidates: usize,
         e: f64,
     ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
-        let n_candidates = scored.len();
         let t_select = Instant::now();
         let mut top = scored;
         top.sort_by(|a, b| {
@@ -498,6 +544,8 @@ impl Accals {
                 e_after,
                 e_est: e + best.delta_e,
                 n_ands_after,
+                scored_exact: 0,
+                scored_pruned: 0,
                 candgen_ms: 0.0,
                 mask_ms: 0.0,
                 score_ms: 0.0,
@@ -591,15 +639,17 @@ impl Accals {
         sim: &Sim,
         eval: &ErrorEval,
         scored: Vec<ScoredLac>,
+        n_candidates: usize,
         e: f64,
         r_ref: usize,
         r_sel: usize,
         rng: &mut StdRng,
     ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
         let cfg = &self.cfg;
-        let n_candidates = scored.len();
         let t_select = Instant::now();
-        let l_top = obtain_top_set(scored, e, cfg.error_bound, r_ref);
+        // Eq. (2) clamps against the full retained population, which a
+        // pruned `scored` subset no longer reflects — pass it through.
+        let l_top = obtain_top_set_from(scored, e, cfg.error_bound, r_ref, n_candidates);
         let l_sol = find_solve_conflicts(&l_top);
         let l_indp = select_indep_lacs(
             current,
@@ -691,6 +741,8 @@ impl Accals {
                 e_after,
                 e_est,
                 n_ands_after,
+                scored_exact: 0,
+                scored_pruned: 0,
                 candgen_ms: 0.0,
                 mask_ms: 0.0,
                 score_ms: 0.0,
@@ -798,6 +850,8 @@ impl Accals {
                 e_after,
                 e_est,
                 n_ands_after,
+                scored_exact: 0,
+                scored_pruned: 0,
                 candgen_ms: 0.0,
                 mask_ms: 0.0,
                 score_ms: 0.0,
@@ -861,6 +915,33 @@ mod tests {
     }
 
     #[test]
+    fn pruned_scoring_synthesizes_identical_circuits() {
+        // The top-k scorer is sound: the whole synthesis trajectory —
+        // rounds, applied edits, errors, final circuit — must be
+        // bit-identical with pruning on and off.
+        for (metric, bound) in [(MetricKind::Nmed, 0.002), (MetricKind::Er, 0.05)] {
+            let golden = benchgen::multipliers::array_multiplier(4);
+            let on = Accals::new(quick_cfg(metric, bound)).synthesize(&golden);
+            let mut cfg = quick_cfg(metric, bound);
+            cfg.pruned_scoring = false;
+            let off = Accals::new(cfg).synthesize(&golden);
+            assert_eq!(on.error.to_bits(), off.error.to_bits());
+            assert_eq!(on.aig.n_ands(), off.aig.n_ands());
+            assert_eq!(on.rounds.len(), off.rounds.len());
+            for (a, b) in on.rounds.iter().zip(&off.rounds) {
+                assert_eq!(a.applied, b.applied);
+                assert_eq!(a.e_after.to_bits(), b.e_after.to_bits());
+                assert_eq!(a.n_ands_after, b.n_ands_after);
+                assert_eq!(a.n_candidates, b.n_candidates);
+                assert_eq!(a.r_top, b.r_top);
+                // The dense run scores the whole retained population.
+                assert_eq!(b.scored_exact, a.scored_exact + a.scored_pruned);
+                assert_eq!(b.scored_pruned, 0);
+            }
+        }
+    }
+
+    #[test]
     fn io_shape_is_preserved() {
         let golden = benchgen::adders::rca(6);
         let result = Accals::new(quick_cfg(MetricKind::Er, 0.1)).synthesize(&golden);
@@ -914,6 +995,8 @@ mod tests {
             e_after: 0.02,
             e_est: 0.015,
             n_ands_after: 30,
+            scored_exact: 8,
+            scored_pruned: 2,
             candgen_ms: 1.0,
             mask_ms: 2.0,
             score_ms: 3.0,
@@ -960,6 +1043,8 @@ mod tests {
                 "e_after",
                 "e_est",
                 "n_ands_after",
+                "scored_exact",
+                "scored_pruned",
                 "candgen_ms",
                 "mask_ms",
                 "score_ms",

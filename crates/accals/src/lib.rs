@@ -139,6 +139,14 @@ pub struct AccalsConfig {
     /// store's invalidation contract is exact — so this exists for
     /// benchmarking the speedup and as a fallback.
     pub incremental_candgen: bool,
+    /// Score rounds through the bound-driven top-k estimator
+    /// (`estimate::BatchEstimator::score_topk`): candidates whose error
+    /// lower bound proves they cannot enter the round's top set are
+    /// abandoned early instead of scored exactly. Sound by
+    /// construction — the selected top set, and therefore the
+    /// synthesized circuit, is bit-identical either way — so this
+    /// exists for benchmarking the speedup and as a fallback.
+    pub pruned_scoring: bool,
 }
 
 impl AccalsConfig {
@@ -167,6 +175,7 @@ impl AccalsConfig {
             race_random: true,
             incremental_trials: true,
             incremental_candgen: true,
+            pruned_scoring: true,
         }
     }
 }

@@ -39,12 +39,42 @@ pub fn r_top(
 ///
 /// Panics if `scored` is empty or `error_bound <= 0`.
 pub fn obtain_top_set(
-    mut scored: Vec<ScoredLac>,
+    scored: Vec<ScoredLac>,
     error: f64,
     error_bound: f64,
     r_ref: usize,
 ) -> Vec<ScoredLac> {
+    let n = scored.len();
+    obtain_top_set_from(scored, error, error_bound, r_ref, n)
+}
+
+/// [`obtain_top_set`] over a pruned subset of a larger candidate
+/// population.
+///
+/// `n_candidates` is the size of the *full* scored population (the
+/// value Eq. (2) clamps against); `scored` may be any subset that
+/// contains at least the `max(r_ref, r_min)` smallest-`ΔE` candidates —
+/// e.g. the output of a sound top-k scorer. Because the raw (unclamped)
+/// `r_top` never exceeds `max(r_ref, r_min)` and all minimum-`ΔE` ties
+/// are required to be present, the result is identical to running
+/// [`obtain_top_set`] on the full population.
+///
+/// # Panics
+///
+/// Panics if `scored` is empty, `error_bound <= 0`, or
+/// `n_candidates < scored.len()`.
+pub fn obtain_top_set_from(
+    mut scored: Vec<ScoredLac>,
+    error: f64,
+    error_bound: f64,
+    r_ref: usize,
+    n_candidates: usize,
+) -> Vec<ScoredLac> {
     assert!(!scored.is_empty(), "need at least one candidate");
+    assert!(
+        n_candidates >= scored.len(),
+        "population smaller than the scored subset"
+    );
     scored.sort_by(|a, b| {
         a.delta_e
             .partial_cmp(&b.delta_e)
@@ -54,7 +84,7 @@ pub fn obtain_top_set(
     });
     let min_delta = scored[0].delta_e;
     let r_min = scored.iter().take_while(|s| s.delta_e == min_delta).count();
-    let k = r_top(error, error_bound, r_ref, r_min, scored.len());
+    let k = r_top(error, error_bound, r_ref, r_min, n_candidates);
     scored.truncate(k);
     scored
 }
@@ -101,6 +131,33 @@ mod tests {
         assert_eq!(top[0].lac.tn, NodeId::new(3));
         assert_eq!(top[1].lac.tn, NodeId::new(2));
         assert_eq!(top[2].lac.tn, NodeId::new(4));
+    }
+
+    #[test]
+    fn pruned_subset_matches_full_population() {
+        // A sound top-k subset (all candidates at or below the k-th
+        // smallest ΔE) with the full population count passed through
+        // must select exactly the same top set.
+        let cands: Vec<ScoredLac> = (0..50)
+            .map(|i| scored(i, (i % 10) as f64 * 1e-3, (i % 4) as i64))
+            .collect();
+        let full = obtain_top_set(cands.clone(), 0.01, 0.05, 12);
+        let mut sorted = cands.clone();
+        sorted.sort_by(|a, b| {
+            a.delta_e
+                .partial_cmp(&b.delta_e)
+                .unwrap()
+                .then(b.gain.cmp(&a.gain))
+                .then(a.lac.tn.cmp(&b.lac.tn))
+        });
+        sorted.truncate(24);
+        let pruned = obtain_top_set_from(sorted, 0.01, 0.05, 12, cands.len());
+        assert_eq!(full.len(), pruned.len());
+        for (f, p) in full.iter().zip(&pruned) {
+            assert_eq!(f.lac, p.lac);
+            assert_eq!(f.gain, p.gain);
+            assert_eq!(f.delta_e.to_bits(), p.delta_e.to_bits());
+        }
     }
 
     #[test]

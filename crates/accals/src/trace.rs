@@ -37,6 +37,15 @@ pub struct RoundTrace {
     pub e_est: f64,
     /// AIG gate count after the round (post-cleanup).
     pub n_ands_after: usize,
+    /// Candidates scored to an exact `ΔE` this round. With pruned
+    /// scoring off this equals the retained (`gain > 0`) candidate
+    /// count. The exact/pruned split is schedule-dependent (see
+    /// `estimate::TopkStats`) — diagnostics only, never part of the
+    /// determinism contract.
+    pub scored_exact: usize,
+    /// Candidates abandoned early by the top-k lower bound this round
+    /// (0 with pruned scoring off).
+    pub scored_pruned: usize,
     /// Wall-clock spent generating candidates (fresh or rolled through
     /// the [`lac::CandidateStore`]), in milliseconds.
     pub candgen_ms: f64,
@@ -90,6 +99,8 @@ mod tests {
             e_after,
             e_est,
             n_ands_after: 0,
+            scored_exact: 0,
+            scored_pruned: 0,
             candgen_ms: 0.0,
             mask_ms: 0.0,
             score_ms: 0.0,

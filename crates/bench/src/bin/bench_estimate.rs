@@ -9,8 +9,11 @@
 //! metric pass — so speedups are measured against the seed algorithm,
 //! not a strawman.
 //!
-//! Usage: `bench_estimate [circuit ...]` (default: rca32 mtp8 alu4).
+//! Usage: `bench_estimate [circuit ...]` (default: rca32 mtp8 alu4);
+//! `bench_estimate --smoke` runs a fast topset-identity assertion
+//! instead of the timed scenarios (for CI).
 
+use accals::topset::{obtain_top_set, obtain_top_set_from};
 use aig::{cone, Aig, Fanouts, Node, NodeId};
 use bitsim::{simulate, Patterns};
 use errmetrics::{ErrorEval, MetricKind};
@@ -25,6 +28,11 @@ const N_PATTERNS: usize = 2048;
 const SEED: u64 = 0xE57;
 const REPEATS: usize = 7;
 const PAR_THREADS: usize = 4;
+
+/// Top-set parameters for the `topk` scenario, mirroring the flow: the
+/// estimator is asked for `K_TOPK = max(r_ref, 64)` exact scores.
+const TOPK_R_REF: usize = 40;
+const K_TOPK: usize = 64;
 
 /// The cone resimulation as shipped in the seed: the *entire* structural
 /// fanout cone is re-evaluated with a per-word touched check, whether or
@@ -188,6 +196,83 @@ fn time_median<T>(mut f: impl FnMut() -> T) -> (f64, T) {
     (times[times.len() / 2], last.unwrap())
 }
 
+/// One metric's dense-vs-pruned scoring-phase comparison on the round-0
+/// state (the `topk` scenario).
+struct TopkReport {
+    metric: &'static str,
+    n_retained: usize,
+    dense_score_ms: f64,
+    topk_score_ms: f64,
+    n_exact: usize,
+    n_pruned: usize,
+}
+
+impl TopkReport {
+    fn prune_rate(&self) -> f64 {
+        self.n_pruned as f64 / (self.n_exact + self.n_pruned).max(1) as f64
+    }
+
+    fn speedup(&self) -> f64 {
+        self.dense_score_ms / self.topk_score_ms.max(1e-9)
+    }
+}
+
+/// Times the dense and bound-pruned scoring phases for one metric on a
+/// fixed circuit state, asserting the resulting top sets are
+/// bit-identical before any timing is trusted. Counters come from the
+/// last repeat (they are schedule-dependent diagnostics).
+#[allow(clippy::too_many_arguments)]
+fn bench_topk(
+    name: &str,
+    metric: &'static str,
+    kind: MetricKind,
+    g: &Aig,
+    sim: &bitsim::Sim,
+    golden: &[Vec<u64>],
+    cands: &[Lac],
+    par: &'static ThreadPool,
+) -> TopkReport {
+    let mut eval = ErrorEval::new(kind, golden, N_PATTERNS);
+    eval.rebase(&sim.output_sigs(g));
+    let e = eval.current();
+    let e_b = 1.0;
+
+    let mut dense_ms: Vec<f64> = Vec::with_capacity(REPEATS);
+    let mut dense_scored = Vec::new();
+    for _ in 0..REPEATS {
+        let mut est = BatchEstimator::new(g, sim, &eval).use_pool(par);
+        dense_scored = est.score_all(cands);
+        dense_ms.push(est.phases().score_ms);
+    }
+    dense_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    dense_scored.retain(|s| s.gain > 0);
+    let n_retained = dense_scored.len();
+    let dense_top = obtain_top_set(dense_scored, e, e_b, TOPK_R_REF);
+
+    let mut topk_ms: Vec<f64> = Vec::with_capacity(REPEATS);
+    let mut last = None;
+    for _ in 0..REPEATS {
+        let mut est = BatchEstimator::new(g, sim, &eval).use_pool(par);
+        let (scored, stats) = est.score_topk(cands, K_TOPK);
+        topk_ms.push(est.phases().score_ms);
+        last = Some((scored, stats));
+    }
+    topk_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (scored, stats) = last.unwrap();
+    assert_eq!(stats.n_candidates, n_retained, "{name}/{metric}: population");
+    let pruned_top = obtain_top_set_from(scored, e, e_b, TOPK_R_REF, stats.n_candidates);
+    check_agreement(name, &dense_top, &pruned_top);
+
+    TopkReport {
+        metric,
+        n_retained,
+        dense_score_ms: dense_ms[dense_ms.len() / 2],
+        topk_score_ms: topk_ms[topk_ms.len() / 2],
+        n_exact: stats.n_exact,
+        n_pruned: stats.n_pruned,
+    }
+}
+
 struct CircuitReport {
     name: String,
     n_ands: usize,
@@ -212,6 +297,7 @@ struct CircuitReport {
     pipe_warm_phases: EstimatePhases,
     store_carried: usize,
     store_regenerated: usize,
+    topk: Vec<TopkReport>,
 }
 
 impl CircuitReport {
@@ -296,6 +382,30 @@ impl CircuitReport {
             self.store_regenerated
         );
         let _ = writeln!(s, "        \"pipe_speedup\": {:.2}", self.pipe_speedup());
+        let _ = writeln!(s, "      }},");
+        // Scenario: bound-driven top-k pruning vs the dense scoring
+        // phase on the round-0 state.
+        let _ = writeln!(s, "      \"topk\": {{");
+        let _ = writeln!(s, "        \"k\": {K_TOPK},");
+        let _ = writeln!(s, "        \"r_ref\": {TOPK_R_REF},");
+        let _ = writeln!(s, "        \"metrics\": [");
+        for (i, t) in self.topk.iter().enumerate() {
+            let _ = writeln!(s, "          {{");
+            let _ = writeln!(s, "            \"metric\": \"{}\",", t.metric);
+            let _ = writeln!(s, "            \"n_retained\": {},", t.n_retained);
+            let _ = writeln!(s, "            \"dense_score_ms\": {:.3},", t.dense_score_ms);
+            let _ = writeln!(s, "            \"topk_score_ms\": {:.3},", t.topk_score_ms);
+            let _ = writeln!(s, "            \"scored_exact\": {},", t.n_exact);
+            let _ = writeln!(s, "            \"scored_pruned\": {},", t.n_pruned);
+            let _ = writeln!(s, "            \"prune_rate\": {:.3},", t.prune_rate());
+            let _ = writeln!(s, "            \"speedup\": {:.2}", t.speedup());
+            let _ = writeln!(
+                s,
+                "          }}{}",
+                if i + 1 < self.topk.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "        ]");
         let _ = writeln!(s, "      }}");
         s.push_str("    }");
         s
@@ -462,6 +572,12 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
     let pipe_warm_r1_ms = pipe_warm[pipe_warm.len() / 2];
     let sstats = store_stats.unwrap();
 
+    // Topk scenario: dense vs bound-pruned scoring phase, per metric.
+    let topk = [("er", MetricKind::Er), ("nmed", MetricKind::Nmed), ("mred", MetricKind::Mred)]
+        .into_iter()
+        .map(|(m, kind)| bench_topk(name, m, kind, &g0, &sim0, &golden, &cands0, par))
+        .collect();
+
     let stats = cache_stats.unwrap();
     CircuitReport {
         name: name.to_string(),
@@ -485,6 +601,7 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
         pipe_warm_phases,
         store_carried: sstats.carried,
         store_regenerated: sstats.regenerated,
+        topk,
     }
 }
 
@@ -503,8 +620,49 @@ fn check_agreement(name: &str, a: &[ScoredLac], b: &[ScoredLac]) {
     }
 }
 
+/// CI smoke: no timing, just the soundness contract — `score_topk`'s
+/// exactly-scored subset fed into the top-set selection reproduces the
+/// dense `score_all` + `obtain_top_set` bit-for-bit.
+fn smoke(par: &'static ThreadPool) {
+    for name in ["rca32", "mtp8"] {
+        let g = benchgen::suite::by_name(name).expect("known circuit");
+        let pats = Patterns::random(g.n_pis(), 512, SEED);
+        let sim = simulate(&g, &pats);
+        let golden = sim.output_sigs(&g);
+        let cands = generate_candidates(&g, &sim, &CandidateConfig::default());
+        for (m, kind) in [("er", MetricKind::Er), ("nmed", MetricKind::Nmed)] {
+            let mut eval = ErrorEval::new(kind, &golden, pats.n_patterns());
+            eval.rebase(&sim.output_sigs(&g));
+            let mut dense = BatchEstimator::new(&g, &sim, &eval)
+                .use_pool(par)
+                .score_all(&cands);
+            dense.retain(|s| s.gain > 0);
+            let n = dense.len();
+            let dense_top = obtain_top_set(dense, 0.0, 1.0, TOPK_R_REF);
+            let (scored, stats) = BatchEstimator::new(&g, &sim, &eval)
+                .use_pool(par)
+                .score_topk(&cands, K_TOPK);
+            assert_eq!(stats.n_candidates, n, "{name}/{m}: population");
+            let pruned_top = obtain_top_set_from(scored, 0.0, 1.0, TOPK_R_REF, stats.n_candidates);
+            check_agreement(name, &dense_top, &pruned_top);
+            println!(
+                "smoke {name}/{m}: top set identical ({} members, {} pruned of {})",
+                dense_top.len(),
+                stats.n_pruned,
+                stats.n_candidates
+            );
+        }
+    }
+    println!("bench_estimate --smoke: topset identity OK");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let par: &'static ThreadPool = Box::leak(Box::new(ThreadPool::new(PAR_THREADS)));
+        smoke(par);
+        return;
+    }
     let circuits: Vec<&str> = if args.is_empty() {
         vec!["rca32", "mtp8", "alu4"]
     } else {
@@ -543,6 +701,18 @@ fn main() {
             r.store_regenerated,
             r.pipe_speedup()
         );
+        for t in &r.topk {
+            println!(
+                "        topk {:>4}: dense score {:.2}ms -> pruned {:.2}ms ({} pruned of {}, {:.0}% prune) -> {:.2}x",
+                t.metric,
+                t.dense_score_ms,
+                t.topk_score_ms,
+                t.n_pruned,
+                t.n_exact + t.n_pruned,
+                100.0 * t.prune_rate(),
+                t.speedup()
+            );
+        }
         reports.push(r);
     }
 

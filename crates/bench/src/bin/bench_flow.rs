@@ -49,11 +49,13 @@ fn run_flow(
     kind: MetricKind,
     bound: f64,
     incremental: bool,
+    pruned: bool,
     pool: &'static ThreadPool,
 ) -> SynthesisResult {
     let mut cfg = AccalsConfig::new(kind, bound);
     cfg.incremental_trials = incremental;
     cfg.incremental_candgen = incremental;
+    cfg.pruned_scoring = pruned;
     Accals::new(cfg).with_pool(pool).synthesize(golden)
 }
 
@@ -109,10 +111,17 @@ struct FlowReport {
     rounds: usize,
     full_ms: f64,
     incr_ms: f64,
-    /// Per-phase totals of the incremental run, from
+    /// Per-phase totals of the incremental run (pruned scoring on), from
     /// [`SynthesisResult::phase_totals_ms`]: candgen, mask, score,
     /// select, trial, commit.
     incr_phases_ms: [f64; 6],
+    /// Scoring-phase total of an otherwise identical incremental run
+    /// with `pruned_scoring` off (dense `score_all`).
+    incr_score_dense_ms: f64,
+    /// Candidates scored exactly / abandoned on the bound across every
+    /// round of the pruned incremental run.
+    scored_exact: usize,
+    scored_pruned: usize,
 }
 
 const PHASE_NAMES: [&str; 6] = ["candgen", "mask", "score", "select", "trial", "commit"];
@@ -143,6 +152,18 @@ impl FlowReport {
         }
         let _ = writeln!(
             s,
+            "      \"incremental_score_dense_ms\": {:.3},",
+            self.incr_score_dense_ms
+        );
+        let _ = writeln!(s, "      \"scored_exact\": {},", self.scored_exact);
+        let _ = writeln!(s, "      \"scored_pruned\": {},", self.scored_pruned);
+        let _ = writeln!(
+            s,
+            "      \"score_phase_speedup\": {:.2},",
+            self.incr_score_dense_ms / self.incr_phases_ms[2].max(1e-9)
+        );
+        let _ = writeln!(
+            s,
             "      \"rounds_per_sec_full\": {:.2},",
             self.rounds_per_sec(self.full_ms)
         );
@@ -165,10 +186,18 @@ fn bench_circuit(
     repeats: usize,
     pool: &'static ThreadPool,
 ) -> FlowReport {
-    let (full_ms, full) = time_median(repeats, || run_flow(golden, kind, bound, false, pool));
-    let (incr_ms, incr) = time_median(repeats, || run_flow(golden, kind, bound, true, pool));
+    let (full_ms, full) =
+        time_median(repeats, || run_flow(golden, kind, bound, false, false, pool));
+    let (incr_ms, incr) = time_median(repeats, || run_flow(golden, kind, bound, true, true, pool));
     check_identity(name, &full, &incr);
+    // Pruning on vs off inside the incremental pipeline: identical
+    // trajectory (asserted), scoring phase timed separately.
+    let (_, incr_dense) = time_median(repeats, || run_flow(golden, kind, bound, true, false, pool));
+    check_identity(name, &incr, &incr_dense);
     let incr_phases_ms = incr.phase_totals_ms();
+    let incr_score_dense_ms = incr_dense.phase_totals_ms()[2];
+    let scored_exact = incr.rounds.iter().map(|r| r.scored_exact).sum();
+    let scored_pruned = incr.rounds.iter().map(|r| r.scored_pruned).sum();
     FlowReport {
         name: name.to_string(),
         kind,
@@ -181,6 +210,9 @@ fn bench_circuit(
         full_ms,
         incr_ms,
         incr_phases_ms,
+        incr_score_dense_ms,
+        scored_exact,
+        scored_pruned,
     }
 }
 
@@ -205,6 +237,14 @@ fn print_report(r: &FlowReport) {
         .map(|(n, v)| format!("{n} {v:.0}"))
         .collect();
     println!("        incremental phase ms: {}", phases.join(", "));
+    println!(
+        "        score phase: dense {:.1}ms -> pruned {:.1}ms ({} pruned / {} exact) -> {:.2}x",
+        r.incr_score_dense_ms,
+        r.incr_phases_ms[2],
+        r.scored_pruned,
+        r.scored_exact,
+        r.incr_score_dense_ms / r.incr_phases_ms[2].max(1e-9)
+    );
 }
 
 fn main() {

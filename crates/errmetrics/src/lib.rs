@@ -45,7 +45,7 @@
 mod eval;
 mod kinds;
 
-pub use eval::ErrorEval;
+pub use eval::{BoundedScore, ErrorEval, PAT_CHUNK};
 pub use kinds::MetricKind;
 
 use bitsim::{simulate, Patterns, Sim};

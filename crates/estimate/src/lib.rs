@@ -39,11 +39,12 @@ pub use cache::{CacheStats, MaskCache, MaskEntry};
 
 use aig::{cone, Aig, Lit, NodeId};
 use bitsim::{simulate, ConeSimulator, ConeTopology, Patterns, Sim};
-use errmetrics::{error, ErrorEval, MetricKind};
+use errmetrics::{error, BoundedScore, ErrorEval, MetricKind};
 use lac::{DevMask, Lac, ScoredLac};
 use parkit::ThreadPool;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Wall-clock breakdown of one estimator's work, for round traces.
@@ -53,6 +54,105 @@ pub struct EstimatePhases {
     pub mask_ms: f64,
     /// Time spent scoring candidates against the masks.
     pub score_ms: f64,
+}
+
+/// Accounting of one [`BatchEstimator::score_topk`] call.
+///
+/// The exact/pruned split depends on how the worker threads interleave
+/// (a chunk scored before the threshold tightens stays exact), so these
+/// counters are diagnostics, not part of the bit-identity contract —
+/// only the returned top set is schedule-independent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopkStats {
+    /// Candidates that passed the `gain > 0` filter (the population the
+    /// dense path would have scored and retained).
+    pub n_candidates: usize,
+    /// Candidates scored to an exact `ΔE`.
+    pub n_exact: usize,
+    /// Candidates abandoned by the lower bound (`n_candidates - n_exact`).
+    pub n_pruned: usize,
+}
+
+/// `f64` ordered by `total_cmp` for the threshold heap. `ΔE` values are
+/// finite (never NaN), so this is the usual numeric order.
+#[derive(PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The shared top-k pruning threshold: the k-th smallest exact `ΔE`
+/// seen so far, published through a relaxed atomic so scoring workers
+/// read it wait-free.
+///
+/// Soundness under races: stores happen only inside the heap lock, so
+/// the published value is the k-th smallest of some subset of the exact
+/// scores — always `>=` the final k-th smallest. A stale or not-yet-
+/// tightened read can only make the bound test *harder* to pass, i.e.
+/// prune less; it can never prune a candidate that belongs in the top
+/// set. Candidates tied at the k-th value are safe too: pruning
+/// requires a bound strictly above the threshold.
+struct TopkThreshold {
+    k: usize,
+    /// `f64::to_bits` of the threshold; `+inf` until `k` exact scores
+    /// exist. Monotone non-increasing.
+    cached: AtomicU64,
+    /// Max-heap of the k smallest `ΔE` values seen.
+    heap: Mutex<BinaryHeap<OrdF64>>,
+    /// Fault injection (tests only): publish a threshold *below* the
+    /// smallest `ΔE` seen, which unsoundly prunes genuine top-set
+    /// members — the fuzz oracle must catch this.
+    unsound: bool,
+}
+
+impl TopkThreshold {
+    fn new(k: usize, unsound: bool) -> Self {
+        TopkThreshold {
+            k,
+            cached: AtomicU64::new(f64::INFINITY.to_bits()),
+            heap: Mutex::new(BinaryHeap::new()),
+            unsound,
+        }
+    }
+
+    /// The current threshold: candidates whose `ΔE` lower bound is
+    /// strictly above this cannot enter the top k.
+    fn get(&self) -> f64 {
+        f64::from_bits(self.cached.load(Ordering::Relaxed))
+    }
+
+    /// Feeds one exact `ΔE` into the running top-k.
+    fn offer(&self, delta: f64) {
+        if delta >= self.get() {
+            // Cannot displace anything: the k-th smallest is already at
+            // or below this value (or the fault already floored it).
+            return;
+        }
+        let mut heap = self.heap.lock().expect("threshold heap poisoned");
+        heap.push(OrdF64(delta));
+        if heap.len() > self.k {
+            heap.pop();
+        }
+        if self.unsound {
+            let min = heap.iter().map(|v| v.0).fold(f64::INFINITY, f64::min);
+            let broken = min - (min.abs() + 1e-9);
+            self.cached.store(broken.to_bits(), Ordering::Relaxed);
+        } else if heap.len() == self.k {
+            let kth = heap.peek().expect("heap holds k values").0;
+            self.cached.store(kth.to_bits(), Ordering::Relaxed);
+        }
+    }
 }
 
 /// Mask storage: either private per-round scratch or a caller-owned
@@ -93,6 +193,7 @@ pub struct BatchEstimator<'a> {
     cache: CacheSlot<'a>,
     current_error: f64,
     phases: EstimatePhases,
+    unsound_bound: bool,
 }
 
 impl<'a> BatchEstimator<'a> {
@@ -145,6 +246,7 @@ impl<'a> BatchEstimator<'a> {
             cache,
             current_error: eval.current(),
             phases: EstimatePhases::default(),
+            unsound_bound: false,
         }
     }
 
@@ -186,17 +288,16 @@ impl<'a> BatchEstimator<'a> {
         self.score_inner(cands, Some(devs))
     }
 
-    fn score_inner(&mut self, cands: &[Lac], devs: Option<&[&DevMask]>) -> Vec<ScoredLac> {
-        if cands.is_empty() {
-            return Vec::new();
-        }
+    /// Shared phase-1 prep: distinct targets (ascending) with their
+    /// candidate slot map and MFFC sizes, plus any transfer masks
+    /// missing from the cache built in parallel over target nodes. Each
+    /// worker chunk owns a private cone simulator; the per-node result
+    /// is independent of chunking.
+    fn prepare_targets(&mut self, cands: &[Lac]) -> (Vec<NodeId>, HashMap<NodeId, u32>, Vec<i64>) {
         let stride = self.sim.stride();
-        let n_outputs = self.aig.n_pos();
         let pool = self.pool;
-        let (aig, sim, eval) = (self.aig, self.sim, self.eval);
-        let current = self.current_error;
+        let (aig, sim) = (self.aig, self.sim);
 
-        // Distinct target nodes, ascending; each candidate indexes in.
         let mut targets: Vec<NodeId> = cands.iter().map(|l| l.tn).collect();
         targets.sort_unstable();
         targets.dedup();
@@ -210,9 +311,6 @@ impl<'a> BatchEstimator<'a> {
         let mffcs: Vec<i64> =
             pool.par_map_collect(&targets, |_, &tn| cone::mffc_size(aig, topo.fanouts(), tn) as i64);
 
-        // Phase 1: compute transfer masks missing from the cache, in
-        // parallel over target nodes. Each chunk owns a private cone
-        // simulator; the per-node result is independent of chunking.
         let missing: Vec<NodeId> = targets
             .iter()
             .copied()
@@ -243,8 +341,20 @@ impl<'a> BatchEstimator<'a> {
                 }
             }
         }
-
         self.phases.mask_ms += t_mask.elapsed().as_secs_f64() * 1e3;
+
+        (targets, slot_of, mffcs)
+    }
+
+    fn score_inner(&mut self, cands: &[Lac], devs: Option<&[&DevMask]>) -> Vec<ScoredLac> {
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let (targets, slot_of, mffcs) = self.prepare_targets(cands);
+        let stride = self.sim.stride();
+        let pool = self.pool;
+        let (sim, eval) = (self.sim, self.eval);
+        let current = self.current_error;
 
         let store = self.cache.get();
         let chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
@@ -320,50 +430,24 @@ impl<'a> BatchEstimator<'a> {
             })
         } else {
             // Phase 2 (general metrics): score candidates in parallel.
-            // Only deviation words are touched: flip rows are written
-            // sparsely — and only for outputs whose footprint actually
-            // intersects the deviation — evaluated via the word-sparse
-            // path, and re-zeroed, so the per-chunk scratch stays clean
-            // between candidates.
-            let fp_len = MaskEntry::footprint_len(stride);
+            // Flip rows are never materialized — the evaluator decodes
+            // `dev & row` inline per output while folding, so the only
+            // per-chunk scratch is the dense deviation buffer.
             pool.par_chunk_results(cands.len(), chunk, |_, range| {
                 let mut dev = vec![0u64; stride];
-                let mut flips = vec![vec![0u64; stride]; n_outputs];
                 let mut words: Vec<u32> = Vec::new();
-                let mut touched: Vec<u32> = Vec::new();
                 let mut out = Vec::with_capacity(range.len());
                 for ci in range {
                     let lac = &cands[ci];
+                    let slot = slot_of[&lac.tn] as usize;
                     let entry = store.get(lac.tn).expect("mask entry was just built");
                     load_dev(ci, &mut dev, &mut words);
-                    touched.clear();
-                    for (k, &o) in entry.outs.iter().enumerate() {
-                        let fp = &entry.row_words[k * fp_len..(k + 1) * fp_len];
-                        if !words
-                            .iter()
-                            .any(|&w| fp[(w >> 6) as usize] >> (w & 63) & 1 != 0)
-                        {
-                            continue; // no mask word under the deviation
-                        }
-                        let row = &entry.masks[k * stride..(k + 1) * stride];
-                        let fl = &mut flips[o as usize];
-                        for &w in &words {
-                            fl[w as usize] = dev[w as usize] & row[w as usize];
-                        }
-                        touched.push(o);
-                    }
-                    let e_new = eval.with_flips_words(&words, &flips);
-                    for &o in &touched {
-                        let fl = &mut flips[o as usize];
-                        for &w in &words {
-                            fl[w as usize] = 0;
-                        }
-                    }
+                    let e_new = eval.with_masked_rows(&words, &dev, &entry.outs, &entry.masks);
                     unload_dev(&mut dev, &words);
                     out.push(ScoredLac {
                         lac: *lac,
                         delta_e: e_new - current,
-                        gain: mffcs[slot_of[&lac.tn] as usize] - lac.new_node_cost() as i64,
+                        gain: mffcs[slot] - lac.new_node_cost() as i64,
                     });
                 }
                 out
@@ -371,6 +455,233 @@ impl<'a> BatchEstimator<'a> {
         };
         self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
         scored.into_iter().flatten().collect()
+    }
+
+    /// Test-only: make [`BatchEstimator::score_topk`] publish an
+    /// unsound (too low) pruning threshold, so the differential fuzz
+    /// oracle can prove it detects a broken bound. Never enable outside
+    /// fault-injection tests.
+    #[doc(hidden)]
+    pub fn inject_unsound_bound(&mut self, on: bool) {
+        self.unsound_bound = on;
+    }
+
+    /// Scores only the candidates that can enter the top `k` by `ΔE`.
+    ///
+    /// Returns the exactly-scored candidates sorted by
+    /// `(ΔE, gain desc, target node)` — the same tie-break the flow's
+    /// top-set selection uses — plus pruning statistics. Candidates with
+    /// `gain <= 0` are filtered out first (gain needs no error work),
+    /// so the result compares against the dense
+    /// [`BatchEstimator::score_all`] output after its own `gain > 0`
+    /// retain.
+    ///
+    /// Contract: for any `k' <= k`, the first `t` entries are
+    /// bit-identical (members, `ΔE` bits, order) to the dense sorted
+    /// list, where `t` covers every candidate whose `ΔE` is `<=` the
+    /// `k'`-th smallest — in particular all ties at the k-th value are
+    /// scored exactly, so downstream `r_min` tie-counting sees them.
+    /// This holds at any thread count and with fresh or cached
+    /// deviation masks; only the exact/pruned *counters* are
+    /// schedule-dependent.
+    pub fn score_topk(&mut self, cands: &[Lac], k: usize) -> (Vec<ScoredLac>, TopkStats) {
+        self.score_topk_inner(cands, None, k)
+    }
+
+    /// Like [`BatchEstimator::score_topk`], but reuses precomputed
+    /// deviation masks (one per candidate). Bit-identical to
+    /// [`BatchEstimator::score_topk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devs.len() != cands.len()`.
+    pub fn score_topk_cached(
+        &mut self,
+        cands: &[Lac],
+        devs: &[&DevMask],
+        k: usize,
+    ) -> (Vec<ScoredLac>, TopkStats) {
+        assert_eq!(devs.len(), cands.len(), "one deviation mask per candidate");
+        self.score_topk_inner(cands, Some(devs), k)
+    }
+
+    fn score_topk_inner(
+        &mut self,
+        cands: &[Lac],
+        devs: Option<&[&DevMask]>,
+        k: usize,
+    ) -> (Vec<ScoredLac>, TopkStats) {
+        assert!(k >= 1, "top-k needs k >= 1");
+        if cands.is_empty() {
+            return (Vec::new(), TopkStats::default());
+        }
+        let (targets, slot_of, mffcs) = self.prepare_targets(cands);
+        let stride = self.sim.stride();
+        let pool = self.pool;
+        let (sim, eval) = (self.sim, self.eval);
+        let current = self.current_error;
+        let kind = eval.kind();
+        let store = self.cache.get();
+        let t_score = Instant::now();
+
+        // Fresh path: deviation masks are computed up front (identical
+        // bits to the inline recomputation) so the proxy can order
+        // candidates before any scoring happens.
+        let owned_devs: Option<Vec<DevMask>> = match devs {
+            Some(_) => None,
+            None => {
+                let chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
+                let batches = pool.par_chunk_results(cands.len(), chunk, |_, range| {
+                    let mut scratch = vec![0u64; stride];
+                    range
+                        .map(|ci| DevMask::of(sim, &cands[ci], &mut scratch))
+                        .collect::<Vec<_>>()
+                });
+                Some(batches.into_iter().flatten().collect())
+            }
+        };
+        let dev_of = |ci: usize| -> &DevMask {
+            match devs {
+                Some(ds) => ds[ci],
+                None => &owned_devs.as_ref().expect("fresh masks were built")[ci],
+            }
+        };
+
+        // Gain is pure MFFC bookkeeping — filter `gain <= 0` before any
+        // error work so the threshold only ever competes over candidates
+        // the flow could select.
+        let mut order: Vec<u32> = (0..cands.len() as u32)
+            .filter(|&ci| {
+                let lac = &cands[ci as usize];
+                mffcs[slot_of[&lac.tn] as usize] - lac.new_node_cost() as i64 > 0
+            })
+            .collect();
+        let n_candidates = order.len();
+        if n_candidates == 0 {
+            self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
+            return (Vec::new(), TopkStats::default());
+        }
+        // Cheap proxy: fewer deviating patterns usually means a smaller
+        // error increase, so scoring those first seeds the shared
+        // threshold near its final value and later candidates prune
+        // early. Stable sort keeps the schedule deterministic;
+        // correctness never depends on this order.
+        order.sort_by_cached_key(|&ci| {
+            let d = dev_of(ci as usize);
+            d.bits.iter().map(|b| b.count_ones() as u64).sum::<u64>()
+        });
+
+        // ER precomputes the per-target all-deviating union diff once,
+        // exactly like the dense fast path.
+        let e1s: Option<Vec<Vec<u64>>> = (kind == MetricKind::Er).then(|| {
+            pool.par_map_collect(&targets, |_, &tn| {
+                let entry = store.get(tn).expect("mask entry was just built");
+                let mut e1 = Vec::new();
+                eval.er_conditional_union(&entry.outs, &entry.masks, &mut e1);
+                e1
+            })
+        });
+
+        let thr = TopkThreshold::new(k, self.unsound_bound);
+        let chunk = order.len().div_ceil(pool.threads() * 8).max(1);
+        let exact: Vec<Vec<(u32, f64)>> = pool.par_chunk_results(order.len(), chunk, |_, range| {
+            let mut dense = vec![0u64; stride];
+            let mut suffix_f: Vec<f64> = Vec::new();
+            let mut out = Vec::new();
+            for oi in range {
+                let ci = order[oi] as usize;
+                let lac = &cands[ci];
+                let d = dev_of(ci);
+                let words: &[u32] = &d.words;
+                let res = match kind {
+                    MetricKind::Er => {
+                        // ER consumes the deviation sparsely — no dense
+                        // scatter, so a pruned candidate costs two light
+                        // passes over its words and nothing else.
+                        let slot = slot_of[&lac.tn] as usize;
+                        let e1 = &e1s.as_ref().expect("ER unions were built")[slot];
+                        eval.er_deviation_bounded(words, &d.bits, e1, current, |lb| {
+                            lb > thr.get()
+                        })
+                    }
+                    MetricKind::Wce => {
+                        // WCE has no monotone per-pattern fold; score
+                        // exactly (still benefits from the fused rows).
+                        for (j, &w) in words.iter().enumerate() {
+                            dense[w as usize] = d.bits[j];
+                        }
+                        let entry = store.get(lac.tn).expect("mask entry was just built");
+                        let e_new =
+                            eval.with_masked_rows(words, &dense, &entry.outs, &entry.masks);
+                        for &w in words {
+                            dense[w as usize] = 0;
+                        }
+                        BoundedScore::Exact(e_new)
+                    }
+                    _ => {
+                        for (j, &w) in words.iter().enumerate() {
+                            dense[w as usize] = d.bits[j];
+                        }
+                        let entry = store.get(lac.tn).expect("mask entry was just built");
+                        eval.word_base_suffix(words, &mut suffix_f);
+                        let res = eval.masked_rows_bounded(
+                            words,
+                            &dense,
+                            &entry.outs,
+                            &entry.masks,
+                            &suffix_f,
+                            current,
+                            |lb| lb > thr.get(),
+                        );
+                        for &w in words {
+                            dense[w as usize] = 0;
+                        }
+                        res
+                    }
+                };
+                if let BoundedScore::Exact(e_new) = res {
+                    if kind != MetricKind::Wce {
+                        thr.offer(e_new - current);
+                    }
+                    out.push((ci as u32, e_new));
+                }
+            }
+            out
+        });
+
+        let mut picked: Vec<(u32, ScoredLac)> = exact
+            .into_iter()
+            .flatten()
+            .map(|(ci, e_new)| {
+                let lac = &cands[ci as usize];
+                let slot = slot_of[&lac.tn] as usize;
+                let scored = ScoredLac {
+                    lac: *lac,
+                    delta_e: e_new - current,
+                    gain: mffcs[slot] - lac.new_node_cost() as i64,
+                };
+                (ci, scored)
+            })
+            .collect();
+        // The flow's tie-break, plus input index as the final key so the
+        // order is total even between identical LACs.
+        picked.sort_by(|(ia, a), (ib, b)| {
+            a.delta_e
+                .partial_cmp(&b.delta_e)
+                .expect("ΔE is never NaN")
+                .then(b.gain.cmp(&a.gain))
+                .then(a.lac.tn.cmp(&b.lac.tn))
+                .then(ia.cmp(ib))
+        });
+        let n_exact = picked.len();
+        let scored: Vec<ScoredLac> = picked.into_iter().map(|(_, s)| s).collect();
+        self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
+        let stats = TopkStats {
+            n_candidates,
+            n_exact,
+            n_pruned: n_candidates - n_exact,
+        };
+        (scored, stats)
     }
 }
 
@@ -541,6 +852,107 @@ mod tests {
         // Removing the top gate frees both gates; removing ab frees one.
         assert_eq!(scored[0].gain, 2);
         assert_eq!(scored[1].gain, 1);
+    }
+
+    #[test]
+    fn er_and_general_paths_agree_on_gain() {
+        // The ER fast path and the general metric path compute gain
+        // from the same hoisted slot lookup; for an identical candidate
+        // list they must report identical gains per index.
+        let g = benchgen::adders::rca(5);
+        let pats = Patterns::random(10, 192, 3);
+        let sim = simulate(&g, &pats);
+        let golden = sim.output_sigs(&g);
+        let cands = generate_candidates(&g, &sim, &CandidateConfig::default());
+        let mut er_eval = ErrorEval::new(MetricKind::Er, &golden, pats.n_patterns());
+        er_eval.rebase(&golden);
+        let mut nmed_eval = ErrorEval::new(MetricKind::Nmed, &golden, pats.n_patterns());
+        nmed_eval.rebase(&golden);
+        let er = BatchEstimator::new(&g, &sim, &er_eval).score_all(&cands);
+        let general = BatchEstimator::new(&g, &sim, &nmed_eval).score_all(&cands);
+        assert_eq!(er.len(), general.len());
+        for (a, b) in er.iter().zip(&general) {
+            assert_eq!(a.lac, b.lac);
+            assert_eq!(a.gain, b.gain, "{}: gain differs between metric paths", a.lac);
+        }
+    }
+
+    /// Dense reference for the top-k contract: `score_all`, keep
+    /// `gain > 0`, stable-sort by the flow's `(ΔE, gain, tn)` key.
+    fn dense_sorted(mut scored: Vec<ScoredLac>) -> Vec<ScoredLac> {
+        scored.retain(|s| s.gain > 0);
+        scored.sort_by(|a, b| {
+            a.delta_e
+                .partial_cmp(&b.delta_e)
+                .unwrap()
+                .then(b.gain.cmp(&a.gain))
+                .then(a.lac.tn.cmp(&b.lac.tn))
+        });
+        scored
+    }
+
+    /// Everything at or below the k-th smallest `ΔE` must come back
+    /// exactly, bit-identical and in dense order, as the head of the
+    /// top-k result.
+    fn assert_topk_prefix(dense: &[ScoredLac], topk: &[ScoredLac], k: usize) {
+        assert!(topk.len() <= dense.len());
+        if dense.is_empty() {
+            assert!(topk.is_empty());
+            return;
+        }
+        let kth = dense[k.min(dense.len()) - 1].delta_e;
+        let t = dense.iter().take_while(|s| s.delta_e <= kth).count();
+        assert!(topk.len() >= t, "returned {} of {t} required", topk.len());
+        for (d, p) in dense[..t].iter().zip(&topk[..t]) {
+            assert_eq!(d.lac, p.lac);
+            assert_eq!(d.gain, p.gain);
+            assert_eq!(d.delta_e.to_bits(), p.delta_e.to_bits(), "{}: ΔE drifted", d.lac);
+        }
+    }
+
+    #[test]
+    fn topk_matches_dense_topset() {
+        let g = benchgen::adders::rca(6);
+        let pats = Patterns::random(12, 320, 11);
+        let sim = simulate(&g, &pats);
+        let golden = sim.output_sigs(&g);
+        let cands = generate_candidates(&g, &sim, &CandidateConfig::default());
+        let mut scratch = vec![0u64; sim.stride()];
+        let devs: Vec<DevMask> = cands
+            .iter()
+            .map(|l| DevMask::of(&sim, l, &mut scratch))
+            .collect();
+        let dev_refs: Vec<&DevMask> = devs.iter().collect();
+        let pools: Vec<&'static ThreadPool> = [1, 2, 8]
+            .iter()
+            .map(|&t| &*Box::leak(Box::new(ThreadPool::new(t))))
+            .collect();
+        for kind in [
+            MetricKind::Er,
+            MetricKind::Nmed,
+            MetricKind::Mred,
+            MetricKind::Wce,
+        ] {
+            let mut eval = ErrorEval::new(kind, &golden, pats.n_patterns());
+            eval.rebase(&golden);
+            let dense = dense_sorted(BatchEstimator::new(&g, &sim, &eval).score_all(&cands));
+            assert!(!dense.is_empty());
+            for &k in &[1usize, 3, 8, 64, dense.len() + 100] {
+                for &pool in &pools {
+                    let (fresh, fs) = BatchEstimator::new(&g, &sim, &eval)
+                        .use_pool(pool)
+                        .score_topk(&cands, k);
+                    assert_eq!(fs.n_candidates, dense.len(), "{kind}: population differs");
+                    assert_eq!(fs.n_exact + fs.n_pruned, fs.n_candidates);
+                    assert_topk_prefix(&dense, &fresh, k);
+                    let (cached, cs) = BatchEstimator::new(&g, &sim, &eval)
+                        .use_pool(pool)
+                        .score_topk_cached(&cands, &dev_refs, k);
+                    assert_eq!(cs.n_candidates, dense.len());
+                    assert_topk_prefix(&dense, &cached, k);
+                }
+            }
+        }
     }
 
     #[test]

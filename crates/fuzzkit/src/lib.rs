@@ -58,6 +58,10 @@ pub enum Fault {
     /// Skip the `CandidateStore`'s fanout-list invalidation condition
     /// (see `CandidateStore::inject_skip_fanout_invalidation`).
     StoreSkipFanout,
+    /// Publish an unsound (too low) pruning threshold from the top-k
+    /// scorer (see `BatchEstimator::inject_unsound_bound`), so pruning
+    /// discards genuine top-set members.
+    TopkLooseBound,
 }
 
 /// A self-contained fuzz case: a seed plus the knobs that shape the
@@ -102,6 +106,7 @@ impl fmt::Display for FuzzCase {
         let fault = match self.fault {
             Fault::None => "none",
             Fault::StoreSkipFanout => "store-fanout",
+            Fault::TopkLooseBound => "topk-bound",
         };
         write!(
             f,
@@ -171,6 +176,7 @@ impl FromStr for FuzzCase {
                     case.fault = match val {
                         "none" => Fault::None,
                         "store-fanout" => Fault::StoreSkipFanout,
+                        "topk-bound" => Fault::TopkLooseBound,
                         _ => return Err(bad("fault")),
                     };
                 }
@@ -257,6 +263,15 @@ mod tests {
                 n_ops: 7,
                 n_patterns: 128,
                 fault: Fault::StoreSkipFanout,
+            },
+            FuzzCase {
+                seed: 1,
+                source: Source::Random,
+                n_pis: 3,
+                n_ands: 6,
+                n_ops: 2,
+                n_patterns: 64,
+                fault: Fault::TopkLooseBound,
             },
         ];
         for c in cases {

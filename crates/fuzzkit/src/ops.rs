@@ -12,6 +12,7 @@
 //! | incremental resimulation    | [`Sim::check_consistent`] fixpoint check          |
 //! | `lac::CandidateStore`       | fresh [`generate_candidates`] lists + `DevMask` recomputation |
 //! | `estimate::MaskCache`       | fresh [`BatchEstimator::new`] ΔE bits at 1/2/8 threads |
+//! | `estimate` top-k pruning    | dense `obtain_top_set` bit-identity at 1/2/8 threads, fresh + cached masks |
 //! | `accals::TrialEval`         | clone → `apply_all` → `cleanup` → resimulate → re-measure |
 //! | `errmetrics` end to end     | BDD exact error vs exhaustive simulation (≤14 inputs) |
 //!
@@ -22,6 +23,7 @@
 use std::sync::{Arc, OnceLock};
 
 use accals::conflict::find_solve_conflicts;
+use accals::topset::{obtain_top_set, obtain_top_set_from};
 use accals::TrialEval;
 use aig::{Aig, Lit, NodeId};
 use bitsim::{simulate, ConeTopology, Patterns};
@@ -238,6 +240,73 @@ impl<'c> Driver<'c> {
         .score_all_cached(&fresh, &devs);
         if let Some(d) = score_diff(&reference, &cached_devs) {
             return Err(self.fail("mask-cache/score_all_cached", d));
+        }
+
+        // Top-k pruned scoring vs the dense reference: feeding the
+        // pruned subset (with the full population count) into the
+        // top-set selection must reproduce `obtain_top_set` over all
+        // retained candidates bit-for-bit — members, ΔE bits, order —
+        // at every thread count, fresh and with cached deviation masks.
+        let retained: Vec<ScoredLac> = reference.iter().filter(|s| s.gain > 0).cloned().collect();
+        if !retained.is_empty() {
+            let e = eval.current();
+            // Decorrelated stream: the top-set knobs must not perturb
+            // the main op-sequence RNG, or every case downstream of this
+            // oracle would reshuffle.
+            let mut krng = StdRng::seed_from_u64(
+                crate::stream_u64(self.case.seed, 0x70b0 ^ self.op as u64),
+            );
+            let e_b = [0.05, 0.25, 1.0][krng.gen_range(0..3usize)];
+            let r_ref = krng.gen_range(1..=6usize);
+            let k = r_ref.max(8);
+            let dense_top = obtain_top_set(retained.clone(), e, e_b, r_ref);
+            let fault = self.case.fault == Fault::TopkLooseBound;
+            let (fcase, fop, n_retained) = (*self.case, self.op, retained.len());
+            let check = move |what: String,
+                              topk: Vec<ScoredLac>,
+                              st: estimate::TopkStats|
+             -> Result<(), Failure> {
+                let fail = |oracle: &str, detail: String| Failure {
+                    case: fcase,
+                    op: fop,
+                    oracle: oracle.to_string(),
+                    detail,
+                };
+                if st.n_candidates != n_retained {
+                    return Err(fail(
+                        "topk/population",
+                        format!(
+                            "{what}: {n_retained} gain>0 candidates, top-k saw {}",
+                            st.n_candidates
+                        ),
+                    ));
+                }
+                if topk.is_empty() {
+                    return Err(fail("topk/topset", format!("{what}: empty top-k result")));
+                }
+                let pruned_top = obtain_top_set_from(topk, e, e_b, r_ref, st.n_candidates);
+                if let Some(d) = score_diff(&dense_top, &pruned_top) {
+                    return Err(fail("topk/topset", format!("{what}: {d}")));
+                }
+                Ok(())
+            };
+            for (t, pool) in THREADS.iter().zip(pools()) {
+                let mut est = BatchEstimator::new(&self.current, &sim, &eval).use_pool(pool);
+                est.inject_unsound_bound(fault);
+                let (topk, st) = est.score_topk(&fresh, k);
+                check(format!("fresh at {t} threads"), topk, st)?;
+            }
+            let mut est = BatchEstimator::with_cache(
+                &self.current,
+                &sim,
+                &eval,
+                &mut self.mask_cache,
+                Some(identity.as_slice()),
+            )
+            .use_pool(pools()[1]);
+            est.inject_unsound_bound(fault);
+            let (topk, st) = est.score_topk_cached(&fresh, &devs, k);
+            check("cached devs at 2 threads".to_string(), topk, st)?;
         }
 
         // Trial evaluation vs the committed path, then maybe commit.

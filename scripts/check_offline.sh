@@ -37,6 +37,11 @@ fi
 echo "== bench smoke (offline): bench_flow --smoke =="
 cargo run --release --offline -p accals-bench --bin bench_flow -- --smoke
 
+# Topset-identity smoke: the bound-pruned top-k scorer must reproduce
+# the dense score-and-select top set bit-for-bit.
+echo "== bench smoke (offline): bench_estimate --smoke =="
+cargo run --release --offline -p accals-bench --bin bench_estimate -- --smoke
+
 # Fixed-seed smoke fuzz: a short deterministic soak of the differential
 # oracles (mask cache, candidate store, trial eval, BDD exact error) —
 # any divergence prints a one-line repro and fails the check.

@@ -68,3 +68,25 @@ fn injected_store_fault_is_caught_and_shrunk() {
     let refail = run_case(&reparsed).expect_err("shrunk repro must still fail");
     assert_eq!(refail.oracle, result.failure.oracle);
 }
+
+/// Same exercise for the top-k scorer's soundness oracle: publish an
+/// unsound (too low) pruning threshold, so genuinely cheap candidates
+/// are abandoned before exact scoring, and confirm the differential
+/// top-set oracle catches the divergence within a short soak.
+#[test]
+fn injected_topk_bound_fault_is_caught() {
+    let failure = fuzzkit::soak(0xacca15, 50, Fault::TopkLooseBound, |_, _| {})
+        .expect("injected unsound bound must be caught within 50 cases");
+    assert!(
+        failure.oracle.starts_with("topk/"),
+        "expected a top-k oracle to fire, got {}",
+        failure.oracle
+    );
+
+    // The repro line round-trips and still fails with the same oracle.
+    let line = failure.repro_line();
+    let reparsed: FuzzCase = line.parse().expect("repro line must parse");
+    assert_eq!(reparsed, failure.case);
+    let refail = run_case(&reparsed).expect_err("repro must still fail");
+    assert_eq!(refail.oracle, failure.oracle);
+}
