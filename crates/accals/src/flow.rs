@@ -117,11 +117,11 @@ impl SynthesisResult {
     /// round), for offline analysis of a synthesis run.
     pub fn trace_csv(&self) -> String {
         let mut s = String::from(
-            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after,scored_exact,scored_pruned,candgen_ms,mask_ms,score_ms,select_ms,trial_ms,commit_ms\n",
+            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after,scored_exact,scored_pruned,candgen_ms,mask_ms,score_ms,select_ms,trial_ms,commit_ms,candgen_probe_draws,candgen_strip_cmps,candgen_pool_hits,candgen_pool_misses\n",
         );
         for t in &self.rounds {
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{}\n",
                 t.round,
                 t.single_mode,
                 t.n_candidates,
@@ -144,7 +144,11 @@ impl SynthesisResult {
                 t.score_ms,
                 t.select_ms,
                 t.trial_ms,
-                t.commit_ms
+                t.commit_ms,
+                t.candgen_probe_draws,
+                t.candgen_strip_cmps,
+                t.candgen_pool_hits,
+                t.candgen_pool_misses
             ));
         }
         s
@@ -233,16 +237,17 @@ impl Accals {
             let sim = simulate(&current, pats);
             eval.rebase(&sim.output_sigs(&current));
             let t_candgen = Instant::now();
-            let cands = if cfg.incremental_candgen {
-                cand_store.generate(
+            let (cands, gen_ctrs) = if cfg.incremental_candgen {
+                let cands = cand_store.generate(
                     &current,
                     &sim,
                     &cfg.candidates,
                     last_remap.as_deref(),
                     self.pool,
-                )
+                );
+                (cands, cand_store.last_gen_counters())
             } else {
-                lac::generate_candidates(&current, &sim, &cfg.candidates)
+                lac::generate_candidates_counted(&current, &sim, &cfg.candidates)
             };
             let candgen_ms = ms(t_candgen.elapsed());
             if cands.is_empty() {
@@ -351,6 +356,10 @@ impl Accals {
             t.score_ms = phases.score_ms;
             t.scored_exact = scored_exact;
             t.scored_pruned = scored_pruned;
+            t.candgen_probe_draws = gen_ctrs.probe_draws;
+            t.candgen_strip_cmps = gen_ctrs.strip_cmps;
+            t.candgen_pool_hits = gen_ctrs.pool_hits;
+            t.candgen_pool_misses = gen_ctrs.pool_misses;
             let e_after = t.e_after;
             let applied = t.applied;
             let shrunk = next.n_ands() < current.n_ands();
@@ -552,6 +561,10 @@ impl Accals {
                 select_ms,
                 trial_ms,
                 commit_ms,
+                candgen_probe_draws: 0,
+                candgen_strip_cmps: 0,
+                candgen_pool_hits: 0,
+                candgen_pool_misses: 0,
             },
             remap,
         ))
@@ -749,6 +762,10 @@ impl Accals {
                 select_ms,
                 trial_ms,
                 commit_ms: 0.0,
+                candgen_probe_draws: 0,
+                candgen_strip_cmps: 0,
+                candgen_pool_hits: 0,
+                candgen_pool_misses: 0,
             },
             remap,
         ))
@@ -858,6 +875,10 @@ impl Accals {
                 select_ms,
                 trial_ms,
                 commit_ms,
+                candgen_probe_draws: 0,
+                candgen_strip_cmps: 0,
+                candgen_pool_hits: 0,
+                candgen_pool_misses: 0,
             },
             remap,
         ))
@@ -1003,6 +1024,10 @@ mod tests {
             select_ms: 4.0,
             trial_ms: 5.0,
             commit_ms: 6.0,
+            candgen_probe_draws: 7,
+            candgen_strip_cmps: 8,
+            candgen_pool_hits: 9,
+            candgen_pool_misses: 10,
         }
     }
 
@@ -1051,6 +1076,10 @@ mod tests {
                 "select_ms",
                 "trial_ms",
                 "commit_ms",
+                "candgen_probe_draws",
+                "candgen_strip_cmps",
+                "candgen_pool_hits",
+                "candgen_pool_misses",
             ]
         );
         // Every row has exactly as many fields as the header.

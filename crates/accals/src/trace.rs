@@ -64,6 +64,17 @@ pub struct RoundTrace {
     /// Wall-clock spent committing the chosen edit (apply + cleanup +
     /// any verification measurement), in milliseconds.
     pub commit_ms: f64,
+    /// Rendezvous-hash weight evaluations during candidate generation
+    /// (wire/divisor probe draws).
+    pub candgen_probe_draws: u64,
+    /// Strip-kernel invocations during candidate generation (wire
+    /// distances plus binary/ternary truth-table scans).
+    pub candgen_strip_cmps: u64,
+    /// Store entries carried across the generation roll (0 on fresh
+    /// generation or a flush).
+    pub candgen_pool_hits: u64,
+    /// Nodes whose candidates were (re)generated this round.
+    pub candgen_pool_misses: u64,
 }
 
 impl RoundTrace {
@@ -107,6 +118,10 @@ mod tests {
             select_ms: 0.0,
             trial_ms: 0.0,
             commit_ms: 0.0,
+            candgen_probe_draws: 0,
+            candgen_strip_cmps: 0,
+            candgen_pool_hits: 0,
+            candgen_pool_misses: 0,
         }
     }
 

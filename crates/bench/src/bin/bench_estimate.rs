@@ -14,11 +14,14 @@
 //! instead of the timed scenarios (for CI).
 
 use accals::topset::{obtain_top_set, obtain_top_set_from};
-use aig::{cone, Aig, Fanouts, Node, NodeId};
+use aig::{cone, Aig, Fanouts, Lit, Node, NodeId};
 use bitsim::{simulate, Patterns};
 use errmetrics::{ErrorEval, MetricKind};
 use estimate::{BatchEstimator, EstimatePhases, MaskCache};
-use lac::{generate_candidates, CandidateConfig, CandidateStore, Lac, ScoredLac};
+use lac::{
+    generate_candidates, generate_candidates_counted, CandidateConfig, CandidateStore, DevMask,
+    DevView, GenCounters, Lac, ScoredLac,
+};
 use parkit::ThreadPool;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -197,12 +200,15 @@ fn time_median<T>(mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 /// One metric's dense-vs-pruned scoring-phase comparison on the round-0
-/// state (the `topk` scenario).
+/// state (the `topk` scenario), measured both fresh (deviations built
+/// inside the scorer) and cached (deviations handed in as views).
 struct TopkReport {
     metric: &'static str,
     n_retained: usize,
     dense_score_ms: f64,
     topk_score_ms: f64,
+    dense_cached_ms: f64,
+    topk_cached_ms: f64,
     n_exact: usize,
     n_pruned: usize,
 }
@@ -214,6 +220,10 @@ impl TopkReport {
 
     fn speedup(&self) -> f64 {
         self.dense_score_ms / self.topk_score_ms.max(1e-9)
+    }
+
+    fn speedup_cached(&self) -> f64 {
+        self.dense_cached_ms / self.topk_cached_ms.max(1e-9)
     }
 }
 
@@ -230,6 +240,7 @@ fn bench_topk(
     sim: &bitsim::Sim,
     golden: &[Vec<u64>],
     cands: &[Lac],
+    devs: &[DevView<'_>],
     par: &'static ThreadPool,
 ) -> TopkReport {
     let mut eval = ErrorEval::new(kind, golden, N_PATTERNS);
@@ -247,7 +258,7 @@ fn bench_topk(
     dense_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
     dense_scored.retain(|s| s.gain > 0);
     let n_retained = dense_scored.len();
-    let dense_top = obtain_top_set(dense_scored, e, e_b, TOPK_R_REF);
+    let dense_top = obtain_top_set(dense_scored.clone(), e, e_b, TOPK_R_REF);
 
     let mut topk_ms: Vec<f64> = Vec::with_capacity(REPEATS);
     let mut last = None;
@@ -263,11 +274,40 @@ fn bench_topk(
     let pruned_top = obtain_top_set_from(scored, e, e_b, TOPK_R_REF, stats.n_candidates);
     check_agreement(name, &dense_top, &pruned_top);
 
+    // Cached arms: the candidate store's deviation views stand in for
+    // the fresh per-candidate mask builds, as on every warm round.
+    let mut dense_cached_ms: Vec<f64> = Vec::with_capacity(REPEATS);
+    let mut cached_scored = Vec::new();
+    for _ in 0..REPEATS {
+        let mut est = BatchEstimator::new(g, sim, &eval).use_pool(par);
+        cached_scored = est.score_all_cached(cands, devs);
+        dense_cached_ms.push(est.phases().score_ms);
+    }
+    dense_cached_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cached_scored.retain(|s| s.gain > 0);
+    check_agreement(name, &dense_scored, &cached_scored);
+
+    let mut topk_cached_ms: Vec<f64> = Vec::with_capacity(REPEATS);
+    let mut last = None;
+    for _ in 0..REPEATS {
+        let mut est = BatchEstimator::new(g, sim, &eval).use_pool(par);
+        let (scored, stats) = est.score_topk_cached(cands, devs, K_TOPK);
+        topk_cached_ms.push(est.phases().score_ms);
+        last = Some((scored, stats));
+    }
+    topk_cached_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (scored_c, stats_c) = last.unwrap();
+    assert_eq!(stats_c.n_candidates, n_retained, "{name}/{metric}: cached population");
+    let cached_top = obtain_top_set_from(scored_c, e, e_b, TOPK_R_REF, stats_c.n_candidates);
+    check_agreement(name, &dense_top, &cached_top);
+
     TopkReport {
         metric,
         n_retained,
         dense_score_ms: dense_ms[dense_ms.len() / 2],
         topk_score_ms: topk_ms[topk_ms.len() / 2],
+        dense_cached_ms: dense_cached_ms[dense_cached_ms.len() / 2],
+        topk_cached_ms: topk_cached_ms[topk_cached_ms.len() / 2],
         n_exact: stats.n_exact,
         n_pruned: stats.n_pruned,
     }
@@ -292,6 +332,11 @@ struct CircuitReport {
     cache_carried: usize,
     candgen_fresh_r1_ms: f64,
     candgen_warm_r1_ms: f64,
+    /// Sub-phase counters from one fresh generation pass on the
+    /// round-1-local state (schedule-independent totals).
+    candgen_fresh_ctrs: GenCounters,
+    /// Sub-phase counters from the last warm (rolled-store) generation.
+    candgen_warm_ctrs: GenCounters,
     pipe_fresh_r1_ms: f64,
     pipe_warm_r1_ms: f64,
     pipe_warm_phases: EstimatePhases,
@@ -309,6 +354,11 @@ impl CircuitReport {
     /// everything from scratch.
     fn pipe_speedup(&self) -> f64 {
         self.pipe_fresh_r1_ms / self.pipe_warm_r1_ms.max(1e-9)
+    }
+
+    /// Candidate generation alone, warm (rolled store) vs fresh.
+    fn candgen_speedup(&self) -> f64 {
+        self.candgen_fresh_r1_ms / self.candgen_warm_r1_ms.max(1e-9)
     }
 
     fn to_json(&self) -> String {
@@ -383,6 +433,44 @@ impl CircuitReport {
         );
         let _ = writeln!(s, "        \"pipe_speedup\": {:.2}", self.pipe_speedup());
         let _ = writeln!(s, "      }},");
+        // Scenario: candidate generation alone on the round-1-local
+        // state, fresh vs warm, with the strip/probe/pool sub-phase
+        // counters the flow traces also report.
+        let _ = writeln!(s, "      \"candgen\": {{");
+        let _ = writeln!(s, "        \"fresh_ms\": {:.3},", self.candgen_fresh_r1_ms);
+        let _ = writeln!(s, "        \"warm_ms\": {:.3},", self.candgen_warm_r1_ms);
+        let _ = writeln!(
+            s,
+            "        \"fresh_probe_draws\": {},",
+            self.candgen_fresh_ctrs.probe_draws
+        );
+        let _ = writeln!(
+            s,
+            "        \"fresh_strip_cmps\": {},",
+            self.candgen_fresh_ctrs.strip_cmps
+        );
+        let _ = writeln!(
+            s,
+            "        \"warm_probe_draws\": {},",
+            self.candgen_warm_ctrs.probe_draws
+        );
+        let _ = writeln!(
+            s,
+            "        \"warm_strip_cmps\": {},",
+            self.candgen_warm_ctrs.strip_cmps
+        );
+        let _ = writeln!(
+            s,
+            "        \"warm_pool_hits\": {},",
+            self.candgen_warm_ctrs.pool_hits
+        );
+        let _ = writeln!(
+            s,
+            "        \"warm_pool_misses\": {},",
+            self.candgen_warm_ctrs.pool_misses
+        );
+        let _ = writeln!(s, "        \"speedup\": {:.2}", self.candgen_speedup());
+        let _ = writeln!(s, "      }},");
         // Scenario: bound-driven top-k pruning vs the dense scoring
         // phase on the round-0 state.
         let _ = writeln!(s, "      \"topk\": {{");
@@ -395,10 +483,21 @@ impl CircuitReport {
             let _ = writeln!(s, "            \"n_retained\": {},", t.n_retained);
             let _ = writeln!(s, "            \"dense_score_ms\": {:.3},", t.dense_score_ms);
             let _ = writeln!(s, "            \"topk_score_ms\": {:.3},", t.topk_score_ms);
+            let _ = writeln!(
+                s,
+                "            \"dense_cached_ms\": {:.3},",
+                t.dense_cached_ms
+            );
+            let _ = writeln!(s, "            \"topk_cached_ms\": {:.3},", t.topk_cached_ms);
             let _ = writeln!(s, "            \"scored_exact\": {},", t.n_exact);
             let _ = writeln!(s, "            \"scored_pruned\": {},", t.n_pruned);
             let _ = writeln!(s, "            \"prune_rate\": {:.3},", t.prune_rate());
-            let _ = writeln!(s, "            \"speedup\": {:.2}", t.speedup());
+            let _ = writeln!(s, "            \"speedup\": {:.2},", t.speedup());
+            let _ = writeln!(
+                s,
+                "            \"speedup_cached\": {:.2}",
+                t.speedup_cached()
+            );
             let _ = writeln!(
                 s,
                 "          }}{}",
@@ -537,6 +636,7 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
         .use_pool(par)
         .score_all(&cands2);
     let (candgen_fresh_r1_ms, _) = time_median(|| generate_candidates(&g2, &sim2, &ccfg));
+    let (_, candgen_fresh_ctrs) = generate_candidates_counted(&g2, &sim2, &ccfg);
     let (pipe_fresh_r1_ms, _) = time_median(|| {
         let c = generate_candidates(&g2, &sim2, &ccfg);
         BatchEstimator::new(&g2, &sim2, &eval2)
@@ -547,6 +647,7 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
     let mut pipe_warm: Vec<f64> = Vec::with_capacity(REPEATS);
     let mut pipe_warm_phases = EstimatePhases::default();
     let mut store_stats = None;
+    let mut candgen_warm_ctrs = GenCounters::default();
     for _ in 0..REPEATS {
         let mut store = CandidateStore::new();
         store.generate(&g0, &sim0, &ccfg, None, par);
@@ -557,6 +658,7 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
         let t0 = Instant::now();
         let warm_cands = store.generate(&g2, &sim2, &ccfg, Some(&remap2), par);
         candgen_warm.push(t0.elapsed().as_secs_f64() * 1e3);
+        candgen_warm_ctrs = store.last_gen_counters();
         let mut est = BatchEstimator::with_cache(&g2, &sim2, &eval2, &mut cache, Some(&remap2))
             .use_pool(par);
         let warm_scored = est.score_all_cached(&warm_cands, &store.devs());
@@ -572,10 +674,18 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
     let pipe_warm_r1_ms = pipe_warm[pipe_warm.len() / 2];
     let sstats = store_stats.unwrap();
 
-    // Topk scenario: dense vs bound-pruned scoring phase, per metric.
+    // Topk scenario: dense vs bound-pruned scoring phase, per metric,
+    // fresh and through precomputed deviation views (the warm-round
+    // currency the candidate store hands the estimator).
+    let mut dev_scratch = vec![0u64; sim0.stride()];
+    let dev_masks: Vec<DevMask> = cands0
+        .iter()
+        .map(|l| DevMask::of(&sim0, l, &mut dev_scratch))
+        .collect();
+    let dev_views: Vec<DevView<'_>> = dev_masks.iter().map(|d| d.view()).collect();
     let topk = [("er", MetricKind::Er), ("nmed", MetricKind::Nmed), ("mred", MetricKind::Mred)]
         .into_iter()
-        .map(|(m, kind)| bench_topk(name, m, kind, &g0, &sim0, &golden, &cands0, par))
+        .map(|(m, kind)| bench_topk(name, m, kind, &g0, &sim0, &golden, &cands0, &dev_views, par))
         .collect();
 
     let stats = cache_stats.unwrap();
@@ -596,6 +706,8 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
         cache_carried: stats.carried,
         candgen_fresh_r1_ms,
         candgen_warm_r1_ms,
+        candgen_fresh_ctrs,
+        candgen_warm_ctrs,
         pipe_fresh_r1_ms,
         pipe_warm_r1_ms,
         pipe_warm_phases,
@@ -620,9 +732,12 @@ fn check_agreement(name: &str, a: &[ScoredLac], b: &[ScoredLac]) {
     }
 }
 
-/// CI smoke: no timing, just the soundness contract — `score_topk`'s
+/// CI smoke: no timing, just the soundness contracts — `score_topk`'s
 /// exactly-scored subset fed into the top-set selection reproduces the
-/// dense `score_all` + `obtain_top_set` bit-for-bit.
+/// dense `score_all` + `obtain_top_set` bit-for-bit; warm candidate
+/// generation reproduces fresh generation (lists and deviation
+/// payloads); and repeated warm scoring draws every scratch buffer from
+/// the deviation pool instead of allocating.
 fn smoke(par: &'static ThreadPool) {
     for name in ["rca32", "mtp8"] {
         let g = benchgen::suite::by_name(name).expect("known circuit");
@@ -652,8 +767,76 @@ fn smoke(par: &'static ThreadPool) {
                 stats.n_candidates
             );
         }
+
+        // Candgen identity across a commit: the rolled store must hand
+        // back the exact fresh list, and every arena-held deviation
+        // payload must match a direct recomputation.
+        let ccfg = CandidateConfig::default();
+        let mut store = CandidateStore::new();
+        let c0 = store.generate(&g, &sim, &ccfg, None, par);
+        assert_eq!(c0, cands, "{name}: store round-0 list diverged");
+        let mut eval = ErrorEval::new(MetricKind::Er, &golden, pats.n_patterns());
+        eval.rebase(&sim.output_sigs(&g));
+        let scored = BatchEstimator::new(&g, &sim, &eval)
+            .use_pool(par)
+            .score_all(&cands);
+        let best = scored
+            .iter()
+            .filter(|s| s.gain > 0)
+            .min_by(|a, b| a.delta_e.partial_cmp(&b.delta_e).unwrap())
+            .expect("a safe candidate");
+        let mut g1 = g.clone();
+        lac::apply_all(&mut g1, &[best.lac]);
+        let remap = g1.cleanup().expect("apply keeps the graph acyclic");
+        let sim1 = simulate(&g1, &pats);
+        let rolled = store.generate(&g1, &sim1, &ccfg, Some(&remap), par);
+        let fresh1 = generate_candidates(&g1, &sim1, &ccfg);
+        assert_eq!(rolled, fresh1, "{name}: warm candidate list diverged");
+        let mut scratch = vec![0u64; sim1.stride()];
+        for (l, dv) in fresh1.iter().zip(store.devs()) {
+            let direct = DevMask::of(&sim1, l, &mut scratch);
+            assert!(
+                dv.words == &*direct.words && dv.bits == &*direct.bits,
+                "{name}: stored deviation of {l} diverged"
+            );
+        }
+        println!(
+            "smoke {name}: warm candgen identical ({} candidates, {} carried)",
+            fresh1.len(),
+            store.stats().carried
+        );
+
+        // Pooled scoring scratch: a second pass of the same warm calls
+        // must be served entirely from the pool — zero new allocations.
+        let mut eval1 = ErrorEval::new(MetricKind::Er, &golden, pats.n_patterns());
+        eval1.rebase(&sim1.output_sigs(&g1));
+        let identity: Vec<Option<Lit>> = (0..g1.n_nodes())
+            .map(|i| Some(Lit::new(NodeId::new(i), false)))
+            .collect();
+        let devs = store.devs();
+        let mut cache = MaskCache::new();
+        {
+            let mut est = BatchEstimator::with_cache(&g1, &sim1, &eval1, &mut cache, None)
+                .use_pool(par);
+            est.score_topk_cached(&rolled, &devs, K_TOPK);
+            est.score_all_cached(&rolled, &devs);
+        }
+        let allocs = cache.dev_pool().allocations();
+        {
+            let mut est =
+                BatchEstimator::with_cache(&g1, &sim1, &eval1, &mut cache, Some(&identity))
+                    .use_pool(par);
+            est.score_topk_cached(&rolled, &devs, K_TOPK);
+            est.score_all_cached(&rolled, &devs);
+        }
+        assert_eq!(
+            cache.dev_pool().allocations(),
+            allocs,
+            "{name}: repeated warm scoring allocated fresh scratch"
+        );
+        println!("smoke {name}: dev pool steady at {allocs} buffers across repeated warm scoring");
     }
-    println!("bench_estimate --smoke: topset identity OK");
+    println!("bench_estimate --smoke: topset + candgen identity OK, dev pool allocation-free when warm");
 }
 
 fn main() {
@@ -692,25 +875,38 @@ fn main() {
             r.speedup_r1()
         );
         println!(
-            "        round1 candgen fresh {:.2}ms -> warm {:.2}ms | pipeline fresh {:.2}ms -> warm {:.2}ms ({} carried / {} regen) -> {:.2}x",
+            "        round1 candgen fresh {:.2}ms -> warm {:.2}ms ({:.2}x) | pipeline fresh {:.2}ms -> warm {:.2}ms ({} carried / {} regen) -> {:.2}x",
             r.candgen_fresh_r1_ms,
             r.candgen_warm_r1_ms,
+            r.candgen_speedup(),
             r.pipe_fresh_r1_ms,
             r.pipe_warm_r1_ms,
             r.store_carried,
             r.store_regenerated,
             r.pipe_speedup()
         );
+        println!(
+            "        candgen counters: fresh {} probes / {} strip cmps | warm {} probes / {} strip cmps / {} pool hits / {} misses",
+            r.candgen_fresh_ctrs.probe_draws,
+            r.candgen_fresh_ctrs.strip_cmps,
+            r.candgen_warm_ctrs.probe_draws,
+            r.candgen_warm_ctrs.strip_cmps,
+            r.candgen_warm_ctrs.pool_hits,
+            r.candgen_warm_ctrs.pool_misses
+        );
         for t in &r.topk {
             println!(
-                "        topk {:>4}: dense score {:.2}ms -> pruned {:.2}ms ({} pruned of {}, {:.0}% prune) -> {:.2}x",
+                "        topk {:>4}: dense score {:.2}ms -> pruned {:.2}ms ({} pruned of {}, {:.0}% prune) -> {:.2}x fresh | cached {:.2}ms -> {:.2}ms -> {:.2}x",
                 t.metric,
                 t.dense_score_ms,
                 t.topk_score_ms,
                 t.n_pruned,
                 t.n_exact + t.n_pruned,
                 100.0 * t.prune_rate(),
-                t.speedup()
+                t.speedup(),
+                t.dense_cached_ms,
+                t.topk_cached_ms,
+                t.speedup_cached()
             );
         }
         reports.push(r);

@@ -14,7 +14,9 @@
 //! Usage: `bench_flow [circuit[=bound] ...]` (default: mtp8 rca32 alu4
 //! at per-circuit default bounds), or `bench_flow --smoke` for a fast
 //! single-circuit sanity run that writes no file (used by
-//! `scripts/check_offline.sh`).
+//! `scripts/check_offline.sh`). Every circuit runs once per pool width
+//! in [`THREAD_COUNTS`] — one JSON row each — and the committed circuit
+//! is asserted identical across both paths *and* all thread counts.
 
 use accals::{Accals, AccalsConfig, SynthesisResult};
 use aig::Aig;
@@ -25,13 +27,10 @@ use std::time::Instant;
 
 const REPEATS: usize = 3;
 
-/// Pool width for both paths: the machine's core count (capped) — an
-/// oversubscribed pool turns speculative races into pure overhead.
-fn pool_threads() -> usize {
-    std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(8)
-}
+/// Pool widths benchmarked per circuit. Determinism is part of the
+/// contract: the trajectory must not depend on the pool width, so each
+/// width's result is checked against the first.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Metric and error bound per circuit, loose enough to sustain a
 /// multi-round run. The arithmetic circuits use NMED (the paper's
@@ -185,7 +184,7 @@ fn bench_circuit(
     bound: f64,
     repeats: usize,
     pool: &'static ThreadPool,
-) -> FlowReport {
+) -> (FlowReport, SynthesisResult) {
     let (full_ms, full) =
         time_median(repeats, || run_flow(golden, kind, bound, false, false, pool));
     let (incr_ms, incr) = time_median(repeats, || run_flow(golden, kind, bound, true, true, pool));
@@ -198,7 +197,7 @@ fn bench_circuit(
     let incr_score_dense_ms = incr_dense.phase_totals_ms()[2];
     let scored_exact = incr.rounds.iter().map(|r| r.scored_exact).sum();
     let scored_pruned = incr.rounds.iter().map(|r| r.scored_pruned).sum();
-    FlowReport {
+    let report = FlowReport {
         name: name.to_string(),
         kind,
         bound,
@@ -213,7 +212,8 @@ fn bench_circuit(
         incr_score_dense_ms,
         scored_exact,
         scored_pruned,
-    }
+    };
+    (report, incr)
 }
 
 fn print_report(r: &FlowReport) {
@@ -249,15 +249,27 @@ fn print_report(r: &FlowReport) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = pool_threads();
-    let pool: &'static ThreadPool = Box::leak(Box::new(ThreadPool::new(threads)));
+    let pools: Vec<&'static ThreadPool> = THREAD_COUNTS
+        .iter()
+        .map(|&t| &*Box::leak(Box::new(ThreadPool::new(t))))
+        .collect();
 
     if args.iter().any(|a| a == "--smoke") {
-        // One tiny circuit, one repeat, identity still asserted; no file.
+        // One tiny circuit, one repeat per pool width, identity asserted
+        // across both paths and all widths; no file.
         let golden = benchgen::multipliers::array_multiplier(4);
-        let r = bench_circuit("mtp4", &golden, MetricKind::Nmed, 0.005, 1, pool);
-        print_report(&r);
-        println!("smoke ok");
+        let mut reference: Option<SynthesisResult> = None;
+        for pool in &pools {
+            let (r, incr) = bench_circuit("mtp4", &golden, MetricKind::Nmed, 0.005, 1, pool);
+            print_report(&r);
+            match &reference {
+                None => reference = Some(incr),
+                Some(first) => {
+                    check_identity(&format!("mtp4 threads={}", pool.threads()), first, &incr)
+                }
+            }
+        }
+        println!("smoke ok (identical across threads {THREAD_COUNTS:?})");
         return;
     }
 
@@ -279,7 +291,7 @@ fn main() {
     };
 
     println!(
-        "bench_flow: end-to-end synthesize, {REPEATS} repeats, {threads} threads ({} cores visible)",
+        "bench_flow: end-to-end synthesize, {REPEATS} repeats, threads {THREAD_COUNTS:?} ({} cores visible)",
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
     let mut reports = Vec::new();
@@ -287,9 +299,18 @@ fn main() {
         let golden = benchgen::suite::by_name(name).expect("known suite circuit");
         let (kind, default_bound) = metric_for(name);
         let bound = bound.unwrap_or(default_bound);
-        let r = bench_circuit(name, &golden, kind, bound, REPEATS, pool);
-        print_report(&r);
-        reports.push(r);
+        let mut reference: Option<SynthesisResult> = None;
+        for pool in &pools {
+            let (r, incr) = bench_circuit(name, &golden, kind, bound, REPEATS, pool);
+            print_report(&r);
+            match &reference {
+                None => reference = Some(incr),
+                Some(first) => {
+                    check_identity(&format!("{name} threads={}", pool.threads()), first, &incr)
+                }
+            }
+            reports.push(r);
+        }
     }
 
     let mut json = String::from("{\n  \"bench\": \"flow\",\n  \"circuits\": [\n");

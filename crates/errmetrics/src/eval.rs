@@ -612,6 +612,30 @@ impl ErrorEval {
         count as f64 / self.n_patterns as f64
     }
 
+    /// [`ErrorEval::er_with_deviation`] taking the deviation values
+    /// sparsely — `bits[j]` is the deviation word at `words[j]`, the
+    /// exact shape `lac::DevMask` stores — so a cached sparse mask is
+    /// scored without scattering it into a dense stride-long buffer
+    /// first. Bit-identical to the dense call: same words, same fold
+    /// order, same two rounded ops at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-ER evaluator or with misaligned bits.
+    pub fn er_with_deviation_sparse(&self, words: &[u32], bits: &[u64], e1: &[u64]) -> f64 {
+        assert_eq!(self.kind, MetricKind::Er, "ER-only scoring");
+        assert_eq!(bits.len(), words.len(), "one deviation word per index");
+        debug_assert!(words.windows(2).all(|p| p[0] < p[1]), "words must ascend");
+        let mut count = self.er_total as i64;
+        for (j, &w) in words.iter().enumerate() {
+            let w = w as usize;
+            let d = bits[j];
+            let acc = (self.er_words[w] & !d) | (e1[w] & d);
+            count += (acc & self.word_mask(w)).count_ones() as i64 - self.er_word_pops[w] as i64;
+        }
+        count as f64 / self.n_patterns as f64
+    }
+
     /// Like [`ErrorEval::er_with_deviation`], but taking the deviation
     /// values sparsely (`bits[j]` is the deviation word at `words[j]`)
     /// and checking a monotone lower bound before every word: the words
@@ -1239,6 +1263,12 @@ mod tests {
             let exact = e.er_with_deviation(&c.words, &c.dev, &e1);
             let delta = exact - current;
             let bits: Vec<u64> = c.words.iter().map(|&w| c.dev[w as usize]).collect();
+            // The sparse-input variant is bit-identical to the dense one.
+            assert_eq!(
+                e.er_with_deviation_sparse(&c.words, &bits, &e1).to_bits(),
+                exact.to_bits(),
+                "er sparse seed {seed}"
+            );
             let mut lbs: Vec<f64> = Vec::new();
             let got = e.er_deviation_bounded(&c.words, &bits, &e1, current, |lb| {
                 lbs.push(lb);

@@ -25,6 +25,8 @@
 
 use aig::{Aig, Fanouts, Lit, Node, NodeId};
 use bitsim::Sim;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Cached transfer masks for one node.
 #[derive(Debug, Clone)]
@@ -44,6 +46,69 @@ impl MaskEntry {
     /// Words per output in [`MaskEntry::row_words`].
     pub fn footprint_len(stride: usize) -> usize {
         stride.div_ceil(64)
+    }
+}
+
+/// Reusable per-chunk scratch for deviation-mask construction and
+/// candidate scoring. One worker chunk checks a buffer out of the
+/// [`DevPool`], fills the flat sparse arrays (one `(offset, len)`
+/// [`DevBuf::index`] entry per candidate) or uses the dense
+/// [`DevBuf::scratch`], and returns it — so steady-state scoring
+/// performs zero per-candidate heap allocations.
+#[derive(Debug, Default)]
+pub struct DevBuf {
+    /// Ascending sparse word indices, all candidates of a chunk
+    /// concatenated.
+    pub words: Vec<u32>,
+    /// One deviation word per entry of `words`.
+    pub bits: Vec<u64>,
+    /// Per-candidate `(offset, len)` into `words`/`bits`.
+    pub index: Vec<(u32, u32)>,
+    /// Per-candidate deviating-pattern count (the top-k ordering proxy).
+    pub pops: Vec<u64>,
+    /// Dense `stride`-word deviation scratch.
+    pub scratch: Vec<u64>,
+    /// Suffix-bound scratch for the general metric path.
+    pub suffix: Vec<f64>,
+}
+
+/// A free-list of [`DevBuf`] scratch buffers shared by the scoring
+/// workers. Checkout order is schedule-dependent but buffer contents
+/// never influence results (sparse arrays come back cleared; dense
+/// scratch is re-initialized at each use site), so pooling preserves
+/// bit-identity at any thread count.
+#[derive(Debug, Default)]
+pub struct DevPool {
+    bufs: Mutex<Vec<DevBuf>>,
+    allocs: AtomicUsize,
+}
+
+impl DevPool {
+    /// Takes a buffer from the pool, allocating a fresh one (and
+    /// counting it) only when the pool is dry.
+    pub fn checkout(&self) -> DevBuf {
+        match self.bufs.lock().expect("dev pool poisoned").pop() {
+            Some(b) => b,
+            None => {
+                self.allocs.fetch_add(1, Ordering::Relaxed);
+                DevBuf::default()
+            }
+        }
+    }
+
+    /// Returns a buffer, clearing the sparse arrays (capacity is kept).
+    pub fn restore(&self, mut buf: DevBuf) {
+        buf.words.clear();
+        buf.bits.clear();
+        buf.index.clear();
+        buf.pops.clear();
+        self.bufs.lock().expect("dev pool poisoned").push(buf);
+    }
+
+    /// Total `DevBuf` allocations since construction. Flat across warm
+    /// repeat calls — the bench smoke paths assert this.
+    pub fn allocations(&self) -> usize {
+        self.allocs.load(Ordering::Relaxed)
     }
 }
 
@@ -76,6 +141,7 @@ pub struct MaskCache {
     snap_out_lits: Vec<Lit>,
     snap_sigs: Vec<u64>,
     stats: CacheStats,
+    pool: DevPool,
 }
 
 /// The image of an old-revision literal under the cleanup remapping.
@@ -99,6 +165,12 @@ impl MaskCache {
     /// Behaviour counters since construction.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// The scoring scratch pool. Survives [`MaskCache::roll`], so warm
+    /// rounds reuse the buffers the previous round allocated.
+    pub fn dev_pool(&self) -> &DevPool {
+        &self.pool
     }
 
     /// Rolls the cache forward to the circuit revision `(aig, sim)`.

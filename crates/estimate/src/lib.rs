@@ -35,12 +35,12 @@
 
 mod cache;
 
-pub use cache::{CacheStats, MaskCache, MaskEntry};
+pub use cache::{CacheStats, DevBuf, DevPool, MaskCache, MaskEntry};
 
 use aig::{cone, Aig, Lit, NodeId};
 use bitsim::{simulate, ConeSimulator, ConeTopology, Patterns, Sim};
 use errmetrics::{error, BoundedScore, ErrorEval, MetricKind};
-use lac::{DevMask, Lac, ScoredLac};
+use lac::{DevView, Lac, ScoredLac};
 use parkit::ThreadPool;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -275,15 +275,16 @@ impl<'a> BatchEstimator<'a> {
     }
 
     /// Like [`BatchEstimator::score_all`], but reuses precomputed
-    /// deviation masks (one per candidate, e.g. from
-    /// [`lac::CandidateStore::devs`]) instead of re-evaluating each
-    /// candidate's substituted function against the base simulation.
-    /// Results are bit-identical to [`BatchEstimator::score_all`].
+    /// deviation masks (one view per candidate, e.g. from
+    /// [`lac::CandidateStore::devs`] or [`lac::DevMask::view`]) instead
+    /// of re-evaluating each candidate's substituted function against
+    /// the base simulation. Results are bit-identical to
+    /// [`BatchEstimator::score_all`].
     ///
     /// # Panics
     ///
     /// Panics if `devs.len() != cands.len()`.
-    pub fn score_all_cached(&mut self, cands: &[Lac], devs: &[&DevMask]) -> Vec<ScoredLac> {
+    pub fn score_all_cached(&mut self, cands: &[Lac], devs: &[DevView<'_>]) -> Vec<ScoredLac> {
         assert_eq!(devs.len(), cands.len(), "one deviation mask per candidate");
         self.score_inner(cands, Some(devs))
     }
@@ -346,7 +347,7 @@ impl<'a> BatchEstimator<'a> {
         (targets, slot_of, mffcs)
     }
 
-    fn score_inner(&mut self, cands: &[Lac], devs: Option<&[&DevMask]>) -> Vec<ScoredLac> {
+    fn score_inner(&mut self, cands: &[Lac], devs: Option<&[DevView<'_>]>) -> Vec<ScoredLac> {
         if cands.is_empty() {
             return Vec::new();
         }
@@ -357,46 +358,9 @@ impl<'a> BatchEstimator<'a> {
         let current = self.current_error;
 
         let store = self.cache.get();
+        let dev_pool = self.cache.get().dev_pool();
         let chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
         let t_score = Instant::now();
-
-        // Per-candidate deviation: either scattered from a cached
-        // sparse mask into the dense scratch (listed words only, cleared
-        // again by the caller) or recomputed from the substituted
-        // function (which overwrites the whole scratch).
-        let load_dev = |ci: usize, dense: &mut [u64], words: &mut Vec<u32>| {
-            words.clear();
-            match devs {
-                Some(ds) => {
-                    let d = ds[ci];
-                    for (k, &w) in d.words.iter().enumerate() {
-                        dense[w as usize] = d.bits[k];
-                        words.push(w);
-                    }
-                }
-                None => {
-                    let lac = &cands[ci];
-                    lac.signature_into(sim, dense);
-                    let base = sim.sig(lac.tn);
-                    for (w, d) in dense.iter_mut().enumerate() {
-                        *d ^= base[w]; // deviation mask, reusing the buffer
-                        if *d != 0 {
-                            words.push(w as u32);
-                        }
-                    }
-                }
-            }
-        };
-        // With cached deviations only the listed words were written;
-        // clear exactly those so the scratch stays zero between
-        // candidates. Fresh recomputation overwrites everything anyway.
-        let unload_dev = |dense: &mut [u64], words: &[u32]| {
-            if devs.is_some() {
-                for &w in words {
-                    dense[w as usize] = 0;
-                }
-            }
-        };
 
         // ER factors further: per target, precompute the union diff the
         // circuit would have if every pattern deviated (the transfer
@@ -410,46 +374,94 @@ impl<'a> BatchEstimator<'a> {
                 eval.er_conditional_union(&entry.outs, &entry.masks, &mut e1);
                 e1
             });
-            pool.par_chunk_results(cands.len(), chunk, |_, range| {
-                let mut dev = vec![0u64; stride];
-                let mut words: Vec<u32> = Vec::new();
-                let mut out = Vec::with_capacity(range.len());
-                for ci in range {
-                    let lac = &cands[ci];
-                    let slot = slot_of[&lac.tn] as usize;
-                    load_dev(ci, &mut dev, &mut words);
-                    let e_new = eval.er_with_deviation(&words, &dev, &e1s[slot]);
-                    unload_dev(&mut dev, &words);
-                    out.push(ScoredLac {
-                        lac: *lac,
-                        delta_e: e_new - current,
-                        gain: mffcs[slot] - lac.new_node_cost() as i64,
-                    });
+            pool.par_chunk_results(cands.len(), chunk, |_, range| match devs {
+                // Cached masks feed the sparse ER fold directly — no
+                // dense scatter, no scratch, no allocation at all.
+                Some(ds) => range
+                    .map(|ci| {
+                        let lac = &cands[ci];
+                        let slot = slot_of[&lac.tn] as usize;
+                        let d = ds[ci];
+                        let e_new = eval.er_with_deviation_sparse(d.words, d.bits, &e1s[slot]);
+                        ScoredLac {
+                            lac: *lac,
+                            delta_e: e_new - current,
+                            gain: mffcs[slot] - lac.new_node_cost() as i64,
+                        }
+                    })
+                    .collect(),
+                None => {
+                    let mut buf = dev_pool.checkout();
+                    buf.scratch.resize(stride, 0);
+                    let mut out = Vec::with_capacity(range.len());
+                    for ci in range {
+                        let lac = &cands[ci];
+                        let slot = slot_of[&lac.tn] as usize;
+                        buf.words.clear();
+                        fresh_dev_into(sim, lac, &mut buf.scratch, &mut buf.words);
+                        let e_new = eval.er_with_deviation(&buf.words, &buf.scratch, &e1s[slot]);
+                        out.push(ScoredLac {
+                            lac: *lac,
+                            delta_e: e_new - current,
+                            gain: mffcs[slot] - lac.new_node_cost() as i64,
+                        });
+                    }
+                    dev_pool.restore(buf);
+                    out
                 }
-                out
             })
         } else {
             // Phase 2 (general metrics): score candidates in parallel.
             // Flip rows are never materialized — the evaluator decodes
             // `dev & row` inline per output while folding, so the only
-            // per-chunk scratch is the dense deviation buffer.
+            // per-chunk scratch is the pooled dense deviation buffer.
             pool.par_chunk_results(cands.len(), chunk, |_, range| {
-                let mut dev = vec![0u64; stride];
-                let mut words: Vec<u32> = Vec::new();
+                let mut buf = dev_pool.checkout();
+                // Cached masks scatter into the scratch (listed words
+                // only, cleared again after scoring), so it must start
+                // zeroed; fresh recomputation overwrites it anyway.
+                buf.scratch.clear();
+                buf.scratch.resize(stride, 0);
                 let mut out = Vec::with_capacity(range.len());
                 for ci in range {
                     let lac = &cands[ci];
                     let slot = slot_of[&lac.tn] as usize;
                     let entry = store.get(lac.tn).expect("mask entry was just built");
-                    load_dev(ci, &mut dev, &mut words);
-                    let e_new = eval.with_masked_rows(&words, &dev, &entry.outs, &entry.masks);
-                    unload_dev(&mut dev, &words);
+                    let e_new = match devs {
+                        Some(ds) => {
+                            let d = ds[ci];
+                            for (k, &w) in d.words.iter().enumerate() {
+                                buf.scratch[w as usize] = d.bits[k];
+                            }
+                            let e = eval.with_masked_rows(
+                                d.words,
+                                &buf.scratch,
+                                &entry.outs,
+                                &entry.masks,
+                            );
+                            for &w in d.words {
+                                buf.scratch[w as usize] = 0;
+                            }
+                            e
+                        }
+                        None => {
+                            buf.words.clear();
+                            fresh_dev_into(sim, lac, &mut buf.scratch, &mut buf.words);
+                            eval.with_masked_rows(
+                                &buf.words,
+                                &buf.scratch,
+                                &entry.outs,
+                                &entry.masks,
+                            )
+                        }
+                    };
                     out.push(ScoredLac {
                         lac: *lac,
                         delta_e: e_new - current,
                         gain: mffcs[slot] - lac.new_node_cost() as i64,
                     });
                 }
+                dev_pool.restore(buf);
                 out
             })
         };
@@ -489,7 +501,7 @@ impl<'a> BatchEstimator<'a> {
     }
 
     /// Like [`BatchEstimator::score_topk`], but reuses precomputed
-    /// deviation masks (one per candidate). Bit-identical to
+    /// deviation masks (one view per candidate). Bit-identical to
     /// [`BatchEstimator::score_topk`].
     ///
     /// # Panics
@@ -498,7 +510,7 @@ impl<'a> BatchEstimator<'a> {
     pub fn score_topk_cached(
         &mut self,
         cands: &[Lac],
-        devs: &[&DevMask],
+        devs: &[DevView<'_>],
         k: usize,
     ) -> (Vec<ScoredLac>, TopkStats) {
         assert_eq!(devs.len(), cands.len(), "one deviation mask per candidate");
@@ -508,7 +520,7 @@ impl<'a> BatchEstimator<'a> {
     fn score_topk_inner(
         &mut self,
         cands: &[Lac],
-        devs: Option<&[&DevMask]>,
+        devs: Option<&[DevView<'_>]>,
         k: usize,
     ) -> (Vec<ScoredLac>, TopkStats) {
         assert!(k >= 1, "top-k needs k >= 1");
@@ -522,35 +534,105 @@ impl<'a> BatchEstimator<'a> {
         let current = self.current_error;
         let kind = eval.kind();
         let store = self.cache.get();
+        let dev_pool = self.cache.get().dev_pool();
         let t_score = Instant::now();
 
-        // Fresh path: deviation masks are computed up front (identical
-        // bits to the inline recomputation) so the proxy can order
-        // candidates before any scoring happens.
-        let owned_devs: Option<Vec<DevMask>> = match devs {
-            Some(_) => None,
-            None => {
-                let chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
-                let batches = pool.par_chunk_results(cands.len(), chunk, |_, range| {
-                    let mut scratch = vec![0u64; stride];
-                    range
-                        .map(|ci| DevMask::of(sim, &cands[ci], &mut scratch))
-                        .collect::<Vec<_>>()
+        // ER short-circuit: its sparse exact fold is cheaper than any
+        // bound bookkeeping (the bound machinery used to *lose* to the
+        // dense path here), so score every retained candidate exactly —
+        // gain filter and deviation-mask computation fused into the
+        // scoring pass, like the dense fast path — then keep only the
+        // top k (plus ties) by a linear select. Bit-identity with the
+        // dense sorted head is trivial: every returned `ΔE` is the
+        // exact fold.
+        if kind == MetricKind::Er {
+            let e1s: Vec<Vec<u64>> = pool.par_map_collect(&targets, |_, &tn| {
+                let entry = store.get(tn).expect("mask entry was just built");
+                let mut e1 = Vec::new();
+                eval.er_conditional_union(&entry.outs, &entry.masks, &mut e1);
+                e1
+            });
+            let chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
+            let parts: Vec<Vec<(u32, f64)>> =
+                pool.par_chunk_results(cands.len(), chunk, |_, range| match devs {
+                    Some(ds) => range
+                        .filter_map(|ci| {
+                            let lac = &cands[ci];
+                            let slot = slot_of[&lac.tn] as usize;
+                            if mffcs[slot] - lac.new_node_cost() as i64 <= 0 {
+                                return None;
+                            }
+                            let d = ds[ci];
+                            let e_new = eval.er_with_deviation_sparse(d.words, d.bits, &e1s[slot]);
+                            Some((ci as u32, e_new - current))
+                        })
+                        .collect(),
+                    None => {
+                        let mut buf = dev_pool.checkout();
+                        buf.scratch.resize(stride, 0);
+                        let mut out = Vec::with_capacity(range.len());
+                        for ci in range {
+                            let lac = &cands[ci];
+                            let slot = slot_of[&lac.tn] as usize;
+                            if mffcs[slot] - lac.new_node_cost() as i64 <= 0 {
+                                continue;
+                            }
+                            buf.words.clear();
+                            fresh_dev_into(sim, lac, &mut buf.scratch, &mut buf.words);
+                            let e_new =
+                                eval.er_with_deviation(&buf.words, &buf.scratch, &e1s[slot]);
+                            out.push((ci as u32, e_new - current));
+                        }
+                        dev_pool.restore(buf);
+                        out
+                    }
                 });
-                Some(batches.into_iter().flatten().collect())
+            let mut all: Vec<(u32, f64)> = parts.into_iter().flatten().collect();
+            let n_candidates = all.len();
+            if n_candidates == 0 {
+                self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
+                return (Vec::new(), TopkStats::default());
             }
-        };
-        let dev_of = |ci: usize| -> &DevMask {
-            match devs {
-                Some(ds) => ds[ci],
-                None => &owned_devs.as_ref().expect("fresh masks were built")[ci],
+            // The k-th smallest `ΔE` in O(n); keeping everything `<=` it
+            // preserves every tie at the k-th value, so the sorted head
+            // matches the dense list for any k' <= k. (select_nth may
+            // reorder `all`, which is harmless: the final sort's last
+            // key is the input index carried in the tuple.)
+            if all.len() > k {
+                let (_, kth, _) =
+                    all.select_nth_unstable_by(k - 1, |a, b| f64::total_cmp(&a.1, &b.1));
+                let kth = kth.1;
+                all.retain(|p| p.1 <= kth);
             }
-        };
+            let mut picked: Vec<(u32, ScoredLac)> = all
+                .into_iter()
+                .map(|(ci, delta)| {
+                    let lac = &cands[ci as usize];
+                    let slot = slot_of[&lac.tn] as usize;
+                    let scored = ScoredLac {
+                        lac: *lac,
+                        delta_e: delta,
+                        gain: mffcs[slot] - lac.new_node_cost() as i64,
+                    };
+                    (ci, scored)
+                })
+                .collect();
+            sort_flow_order(&mut picked);
+            let n_exact = picked.len();
+            let scored: Vec<ScoredLac> = picked.into_iter().map(|(_, s)| s).collect();
+            self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
+            let stats = TopkStats {
+                n_candidates,
+                n_exact,
+                n_pruned: n_candidates - n_exact,
+            };
+            return (scored, stats);
+        }
 
         // Gain is pure MFFC bookkeeping — filter `gain <= 0` before any
         // error work so the threshold only ever competes over candidates
         // the flow could select.
-        let mut order: Vec<u32> = (0..cands.len() as u32)
+        let order: Vec<u32> = (0..cands.len() as u32)
             .filter(|&ci| {
                 let lac = &cands[ci as usize];
                 mffcs[slot_of[&lac.tn] as usize] - lac.new_node_cost() as i64 > 0
@@ -561,80 +643,126 @@ impl<'a> BatchEstimator<'a> {
             self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
             return (Vec::new(), TopkStats::default());
         }
+
+        // Fresh path: deviation masks are computed up front (identical
+        // bits to the inline recomputation) so the proxy can order
+        // candidates before any scoring happens. Each worker chunk
+        // appends into one pooled flat buffer — per-candidate Box
+        // allocations were the old path's whole regression, so the pool
+        // is the point here, not a nicety.
+        let fresh_chunk = cands.len().div_ceil(pool.threads() * 4).max(1);
+        let built: Option<Vec<DevBuf>> = match devs {
+            Some(_) => None,
+            None => Some(pool.par_chunk_results(cands.len(), fresh_chunk, |_, range| {
+                let mut buf = dev_pool.checkout();
+                let DevBuf {
+                    words,
+                    bits,
+                    index,
+                    pops,
+                    scratch,
+                    ..
+                } = &mut buf;
+                scratch.resize(stride, 0);
+                for ci in range {
+                    let lac = &cands[ci];
+                    lac.signature_into(sim, scratch);
+                    let base = sim.sig(lac.tn);
+                    let start = words.len() as u32;
+                    let mut pop = 0u64;
+                    for (w, &s) in scratch.iter().enumerate() {
+                        let d = s ^ base[w];
+                        if d != 0 {
+                            words.push(w as u32);
+                            bits.push(d);
+                            pop += d.count_ones() as u64;
+                        }
+                    }
+                    index.push((start, words.len() as u32 - start));
+                    pops.push(pop);
+                }
+                buf
+            })),
+        };
+        let dev_of = |ci: usize| -> DevView<'_> {
+            match devs {
+                Some(ds) => ds[ci],
+                None => {
+                    let b = &built.as_ref().expect("fresh masks were built")[ci / fresh_chunk];
+                    let (off, len) = b.index[ci % fresh_chunk];
+                    let r = off as usize..(off + len) as usize;
+                    DevView {
+                        words: &b.words[r.clone()],
+                        bits: &b.bits[r],
+                    }
+                }
+            }
+        };
+
         // Cheap proxy: fewer deviating patterns usually means a smaller
         // error increase, so scoring those first seeds the shared
         // threshold near its final value and later candidates prune
         // early. Stable sort keeps the schedule deterministic;
         // correctness never depends on this order.
+        let mut order = order;
         order.sort_by_cached_key(|&ci| {
-            let d = dev_of(ci as usize);
-            d.bits.iter().map(|b| b.count_ones() as u64).sum::<u64>()
-        });
-
-        // ER precomputes the per-target all-deviating union diff once,
-        // exactly like the dense fast path.
-        let e1s: Option<Vec<Vec<u64>>> = (kind == MetricKind::Er).then(|| {
-            pool.par_map_collect(&targets, |_, &tn| {
-                let entry = store.get(tn).expect("mask entry was just built");
-                let mut e1 = Vec::new();
-                eval.er_conditional_union(&entry.outs, &entry.masks, &mut e1);
-                e1
-            })
+            let ci = ci as usize;
+            match &built {
+                // The fresh pre-pass already counted the bits.
+                Some(bs) => bs[ci / fresh_chunk].pops[ci % fresh_chunk],
+                None => dev_of(ci)
+                    .bits
+                    .iter()
+                    .map(|b| b.count_ones() as u64)
+                    .sum::<u64>(),
+            }
         });
 
         let thr = TopkThreshold::new(k, self.unsound_bound);
         let chunk = order.len().div_ceil(pool.threads() * 8).max(1);
         let exact: Vec<Vec<(u32, f64)>> = pool.par_chunk_results(order.len(), chunk, |_, range| {
-            let mut dense = vec![0u64; stride];
-            let mut suffix_f: Vec<f64> = Vec::new();
+            let mut buf = dev_pool.checkout();
+            buf.scratch.clear();
+            buf.scratch.resize(stride, 0);
+            buf.suffix.clear();
             let mut out = Vec::new();
             for oi in range {
                 let ci = order[oi] as usize;
                 let lac = &cands[ci];
                 let d = dev_of(ci);
-                let words: &[u32] = &d.words;
+                let words = d.words;
                 let res = match kind {
-                    MetricKind::Er => {
-                        // ER consumes the deviation sparsely — no dense
-                        // scatter, so a pruned candidate costs two light
-                        // passes over its words and nothing else.
-                        let slot = slot_of[&lac.tn] as usize;
-                        let e1 = &e1s.as_ref().expect("ER unions were built")[slot];
-                        eval.er_deviation_bounded(words, &d.bits, e1, current, |lb| {
-                            lb > thr.get()
-                        })
-                    }
                     MetricKind::Wce => {
                         // WCE has no monotone per-pattern fold; score
                         // exactly (still benefits from the fused rows).
                         for (j, &w) in words.iter().enumerate() {
-                            dense[w as usize] = d.bits[j];
+                            buf.scratch[w as usize] = d.bits[j];
                         }
                         let entry = store.get(lac.tn).expect("mask entry was just built");
                         let e_new =
-                            eval.with_masked_rows(words, &dense, &entry.outs, &entry.masks);
+                            eval.with_masked_rows(words, &buf.scratch, &entry.outs, &entry.masks);
                         for &w in words {
-                            dense[w as usize] = 0;
+                            buf.scratch[w as usize] = 0;
                         }
                         BoundedScore::Exact(e_new)
                     }
                     _ => {
                         for (j, &w) in words.iter().enumerate() {
-                            dense[w as usize] = d.bits[j];
+                            buf.scratch[w as usize] = d.bits[j];
                         }
                         let entry = store.get(lac.tn).expect("mask entry was just built");
-                        eval.word_base_suffix(words, &mut suffix_f);
+                        eval.word_base_suffix(words, &mut buf.suffix);
                         let res = eval.masked_rows_bounded(
                             words,
-                            &dense,
+                            &buf.scratch,
                             &entry.outs,
                             &entry.masks,
-                            &suffix_f,
+                            &buf.suffix,
                             current,
                             |lb| lb > thr.get(),
                         );
                         for &w in words {
-                            dense[w as usize] = 0;
+                            buf.scratch[w as usize] = 0;
                         }
                         res
                     }
@@ -646,8 +774,15 @@ impl<'a> BatchEstimator<'a> {
                     out.push((ci as u32, e_new));
                 }
             }
+            dev_pool.restore(buf);
             out
         });
+
+        if let Some(bs) = built {
+            for b in bs {
+                dev_pool.restore(b);
+            }
+        }
 
         let mut picked: Vec<(u32, ScoredLac)> = exact
             .into_iter()
@@ -663,16 +798,7 @@ impl<'a> BatchEstimator<'a> {
                 (ci, scored)
             })
             .collect();
-        // The flow's tie-break, plus input index as the final key so the
-        // order is total even between identical LACs.
-        picked.sort_by(|(ia, a), (ib, b)| {
-            a.delta_e
-                .partial_cmp(&b.delta_e)
-                .expect("ΔE is never NaN")
-                .then(b.gain.cmp(&a.gain))
-                .then(a.lac.tn.cmp(&b.lac.tn))
-                .then(ia.cmp(ib))
-        });
+        sort_flow_order(&mut picked);
         let n_exact = picked.len();
         let scored: Vec<ScoredLac> = picked.into_iter().map(|(_, s)| s).collect();
         self.phases.score_ms += t_score.elapsed().as_secs_f64() * 1e3;
@@ -682,6 +808,34 @@ impl<'a> BatchEstimator<'a> {
             n_pruned: n_candidates - n_exact,
         };
         (scored, stats)
+    }
+}
+
+/// The flow's tie-break `(ΔE, gain desc, target node)`, plus input
+/// index as the final key so the order is total even between identical
+/// LACs.
+fn sort_flow_order(picked: &mut [(u32, ScoredLac)]) {
+    picked.sort_by(|(ia, a), (ib, b)| {
+        a.delta_e
+            .partial_cmp(&b.delta_e)
+            .expect("ΔE is never NaN")
+            .then(b.gain.cmp(&a.gain))
+            .then(a.lac.tn.cmp(&b.lac.tn))
+            .then(ia.cmp(ib))
+    });
+}
+
+/// Computes `lac`'s deviation mask into `dense` (a full overwrite: the
+/// substituted function's signature XOR the target's), appending the
+/// nonzero word indices to `words`. Bit-identical to [`lac::DevMask::of`].
+fn fresh_dev_into(sim: &Sim, lac: &Lac, dense: &mut [u64], words: &mut Vec<u32>) {
+    lac.signature_into(sim, dense);
+    let base = sim.sig(lac.tn);
+    for (w, d) in dense.iter_mut().enumerate() {
+        *d ^= base[w]; // deviation mask, reusing the buffer
+        if *d != 0 {
+            words.push(w as u32);
+        }
     }
 }
 
@@ -739,7 +893,7 @@ pub fn exact_on_sample(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lac::{generate_candidates, CandidateConfig};
+    use lac::{generate_candidates, CandidateConfig, DevMask};
 
     #[test]
     fn batch_estimates_are_exact_on_sample() {
@@ -811,13 +965,13 @@ mod tests {
             .iter()
             .map(|l| DevMask::of(&sim, l, &mut scratch))
             .collect();
-        let dev_refs: Vec<&DevMask> = devs.iter().collect();
+        let dev_views: Vec<DevView> = devs.iter().map(|d| d.view()).collect();
         for kind in [MetricKind::Er, MetricKind::Nmed] {
             let mut eval = ErrorEval::new(kind, &golden, pats.n_patterns());
             eval.rebase(&golden);
             let fresh = BatchEstimator::new(&g, &sim, &eval).score_all(&cands);
             let cached =
-                BatchEstimator::new(&g, &sim, &eval).score_all_cached(&cands, &dev_refs);
+                BatchEstimator::new(&g, &sim, &eval).score_all_cached(&cands, &dev_views);
             assert_eq!(fresh.len(), cached.len());
             for (f, c) in fresh.iter().zip(&cached) {
                 assert_eq!(f.lac, c.lac);
@@ -922,7 +1076,7 @@ mod tests {
             .iter()
             .map(|l| DevMask::of(&sim, l, &mut scratch))
             .collect();
-        let dev_refs: Vec<&DevMask> = devs.iter().collect();
+        let dev_views: Vec<DevView> = devs.iter().map(|d| d.view()).collect();
         let pools: Vec<&'static ThreadPool> = [1, 2, 8]
             .iter()
             .map(|&t| &*Box::leak(Box::new(ThreadPool::new(t))))
@@ -947,7 +1101,7 @@ mod tests {
                     assert_topk_prefix(&dense, &fresh, k);
                     let (cached, cs) = BatchEstimator::new(&g, &sim, &eval)
                         .use_pool(pool)
-                        .score_topk_cached(&cands, &dev_refs, k);
+                        .score_topk_cached(&cands, &dev_views, k);
                     assert_eq!(cs.n_candidates, dense.len());
                     assert_topk_prefix(&dense, &cached, k);
                 }

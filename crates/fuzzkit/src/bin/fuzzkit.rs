@@ -1,7 +1,8 @@
 //! Soak runner for the differential fuzzer.
 //!
 //! ```text
-//! fuzzkit [--seed 0xHEX] [--iters N] [--fault none|store-fanout]
+//! fuzzkit [--seed 0xHEX] [--iters N]
+//!         [--fault none|store-fanout|store-arena|topk-bound]
 //!         [--repro '<line>'] [--smoke] [--quiet]
 //! ```
 //!
@@ -56,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
                 args.fault = match value("--fault")?.as_str() {
                     "none" => Fault::None,
                     "store-fanout" => Fault::StoreSkipFanout,
+                    "store-arena" => Fault::StoreStaleArena,
+                    "topk-bound" => Fault::TopkLooseBound,
                     other => return Err(format!("unknown fault `{other}`")),
                 };
             }
@@ -68,7 +71,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: fuzzkit [--seed 0xHEX] [--iters N] \
-                     [--fault none|store-fanout] [--repro '<line>'] [--smoke] [--quiet]"
+                     [--fault none|store-fanout|store-arena|topk-bound] \
+                     [--repro '<line>'] [--smoke] [--quiet]"
                 );
                 std::process::exit(0);
             }

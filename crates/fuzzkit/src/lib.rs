@@ -58,6 +58,10 @@ pub enum Fault {
     /// Skip the `CandidateStore`'s fanout-list invalidation condition
     /// (see `CandidateStore::inject_skip_fanout_invalidation`).
     StoreSkipFanout,
+    /// Skip the arena payload remap on carried entries (see
+    /// `CandidateStore::inject_stale_arena_carry`), so carried
+    /// candidates keep pre-roll node ids.
+    StoreStaleArena,
     /// Publish an unsound (too low) pruning threshold from the top-k
     /// scorer (see `BatchEstimator::inject_unsound_bound`), so pruning
     /// discards genuine top-set members.
@@ -106,6 +110,7 @@ impl fmt::Display for FuzzCase {
         let fault = match self.fault {
             Fault::None => "none",
             Fault::StoreSkipFanout => "store-fanout",
+            Fault::StoreStaleArena => "store-arena",
             Fault::TopkLooseBound => "topk-bound",
         };
         write!(
@@ -176,6 +181,7 @@ impl FromStr for FuzzCase {
                     case.fault = match val {
                         "none" => Fault::None,
                         "store-fanout" => Fault::StoreSkipFanout,
+                        "store-arena" => Fault::StoreStaleArena,
                         "topk-bound" => Fault::TopkLooseBound,
                         _ => return Err(bad("fault")),
                     };
@@ -272,6 +278,15 @@ mod tests {
                 n_ops: 2,
                 n_patterns: 64,
                 fault: Fault::TopkLooseBound,
+            },
+            FuzzCase {
+                seed: 0xa12e4a,
+                source: Source::Bench(1),
+                n_pis: 5,
+                n_ands: 9,
+                n_ops: 4,
+                n_patterns: 96,
+                fault: Fault::StoreStaleArena,
             },
         ];
         for c in cases {

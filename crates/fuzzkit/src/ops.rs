@@ -190,7 +190,7 @@ impl<'c> Driver<'c> {
         let mut scratch = vec![0u64; sim.stride()];
         for (lac, dev) in fresh.iter().zip(&devs) {
             let direct = DevMask::of(&sim, lac, &mut scratch);
-            if dev.words != direct.words || dev.bits != direct.bits {
+            if dev.words != &*direct.words || dev.bits != &*direct.bits {
                 return Err(self.fail(
                     "candidate-store/devmask",
                     format!("deviation of `{lac}` drifted from direct recomputation"),
@@ -605,6 +605,9 @@ fn run_case_inner(case: &FuzzCase, op_at: &std::cell::Cell<usize>) -> Result<Cas
     let mut store = CandidateStore::new();
     if case.fault == Fault::StoreSkipFanout {
         store.inject_skip_fanout_invalidation(true);
+    }
+    if case.fault == Fault::StoreStaleArena {
+        store.inject_stale_arena_carry(true);
     }
     let mut drv = Driver {
         case,

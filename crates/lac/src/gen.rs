@@ -1,6 +1,7 @@
 use crate::kinds::{Lac, LacKind};
+use crate::strips::{tt2_counts, tt3_counts, xor_distance};
 use aig::{Aig, Fanouts, Node, NodeId};
-use bitsim::{popcount, Sim};
+use bitsim::Sim;
 use prng::RngCore;
 
 /// Tuning knobs for [`generate_candidates`].
@@ -99,6 +100,35 @@ pub(crate) struct NodeGen {
     pub extra_floor: u64,
 }
 
+/// Sub-phase counters for one candidate-generation pass, surfaced
+/// through the flow's `RoundTrace` so candgen regressions are
+/// attributable without a profiler. Deterministic for a given circuit
+/// revision and config — independent of thread count and carry/fresh
+/// path for everything except the pool hit/miss split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenCounters {
+    /// Rendezvous weight evaluations across all probe draws.
+    pub probe_draws: u64,
+    /// Strip-kernel invocations: wire signature distances plus
+    /// binary/ternary truth-table scans.
+    pub strip_cmps: u64,
+    /// Store entries carried across a roll (always 0 on the fresh
+    /// path).
+    pub pool_hits: u64,
+    /// Nodes whose candidates were (re)generated.
+    pub pool_misses: u64,
+}
+
+impl GenCounters {
+    /// Accumulates `other` into `self` (merging per-worker counters).
+    pub fn merge(&mut self, other: &GenCounters) {
+        self.probe_draws += other.probe_draws;
+        self.strip_cmps += other.strip_cmps;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+    }
+}
+
 /// A stamped membership set over node ids: `O(1)` insert with no
 /// clearing between nodes (bumping the stamp invalidates every mark),
 /// replacing the `Vec::contains` scans in the candgen hot loop.
@@ -124,6 +154,40 @@ impl SeenSet {
         } else {
             *m = self.stamp;
             true
+        }
+    }
+}
+
+/// Reusable per-worker buffers for [`gen_node`]: one instance serves
+/// every node a worker generates, so steady-state generation allocates
+/// nothing per node. Purely workspace — cleared before use, never read
+/// across nodes — so reuse cannot perturb the generated candidates.
+pub(crate) struct GenScratch {
+    seen: SeenSet,
+    locals: Vec<NodeId>,
+    probes: Vec<NodeId>,
+    drawn: Vec<NodeId>,
+    extras: Vec<NodeId>,
+    divisors: Vec<NodeId>,
+    sel: Vec<(u64, u32)>,
+    wire_scored: Vec<(usize, NodeId, bool)>,
+    bin_scored: Vec<(usize, Lac)>,
+    tern_scored: Vec<(usize, Lac)>,
+}
+
+impl GenScratch {
+    pub(crate) fn new(n_nodes: usize) -> Self {
+        GenScratch {
+            seen: SeenSet::new(n_nodes),
+            locals: Vec::new(),
+            probes: Vec::new(),
+            drawn: Vec::new(),
+            extras: Vec::new(),
+            divisors: Vec::new(),
+            sel: Vec::new(),
+            wire_scored: Vec::new(),
+            bin_scored: Vec::new(),
+            tern_scored: Vec::new(),
         }
     }
 }
@@ -203,13 +267,16 @@ pub(crate) fn pair_weight(tweak: u64, probe_key: u64) -> u64 {
 /// pool prefix (excluding the target itself), appended to `out` in
 /// descending-weight order with ties broken toward earlier pool
 /// position. Returns the selection floor (see [`NodeGen::wire_floor`]).
+#[allow(clippy::too_many_arguments)]
 fn draw_probes(
     ctx: &GenCtx<'_>,
     id: NodeId,
     visible: usize,
     tweak: u64,
     k: usize,
+    sel: &mut Vec<(u64, u32)>,
     out: &mut Vec<NodeId>,
+    ctrs: &mut GenCounters,
 ) -> u64 {
     if k == 0 {
         return u64::MAX;
@@ -217,12 +284,14 @@ fn draw_probes(
     // (weight, pool position), best first. Scan order is ascending
     // position, so an equal-weight incumbent always has the earlier
     // position and wins the tie.
-    let mut sel: Vec<(u64, u32)> = Vec::with_capacity(k + 1);
+    sel.clear();
+    let mut draws = 0u64;
     for (pos, &v) in ctx.pool[..visible].iter().enumerate() {
         if v == id {
             continue;
         }
         let w = pair_weight(tweak, ctx.pool_keys[pos]);
+        draws += 1;
         if sel.len() == k {
             if w <= sel.last().unwrap().0 {
                 continue;
@@ -232,6 +301,7 @@ fn draw_probes(
         let at = sel.partition_point(|&(sw, _)| sw >= w);
         sel.insert(at, (w, pos as u32));
     }
+    ctrs.probe_draws += draws;
     out.extend(sel.iter().map(|&(_, p)| ctx.pool[p as usize]));
     if sel.len() < k {
         0
@@ -246,9 +316,23 @@ fn draw_probes(
 /// random probes are never silently truncated away on well-connected
 /// nodes (they used to be appended *after* the locals and then
 /// truncated off whenever the locals alone filled `max`).
+#[cfg(test)]
 pub(crate) fn assemble_divisors(locals: &[NodeId], extras: &[NodeId], max: usize) -> Vec<NodeId> {
+    let mut divisors = Vec::new();
+    assemble_divisors_into(locals, extras, max, &mut divisors);
+    divisors
+}
+
+/// [`assemble_divisors`] into a caller-owned (reusable) buffer.
+fn assemble_divisors_into(
+    locals: &[NodeId],
+    extras: &[NodeId],
+    max: usize,
+    divisors: &mut Vec<NodeId>,
+) {
+    divisors.clear();
     let reserve = DIVISOR_PROBE_RESERVE.min(max);
-    let mut divisors: Vec<NodeId> = locals.iter().copied().take(max - reserve).collect();
+    divisors.extend(locals.iter().copied().take(max - reserve));
     for &v in extras {
         if divisors.len() >= max {
             break;
@@ -265,7 +349,6 @@ pub(crate) fn assemble_divisors(locals: &[NodeId], extras: &[NodeId], max: usize
             divisors.push(v);
         }
     }
-    divisors
 }
 
 /// Generates the candidates of a single target node, with private RNG
@@ -274,16 +357,23 @@ pub(crate) fn assemble_divisors(locals: &[NodeId], extras: &[NodeId], max: usize
 /// incremental store bit-identical to fresh generation: a node's output
 /// depends only on `ctx` and the node itself, never on which other
 /// nodes are (re)generated around it or on the thread that runs it.
-pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> NodeGen {
+pub(crate) fn gen_node(
+    ctx: &GenCtx<'_>,
+    id: NodeId,
+    scratch: &mut GenScratch,
+    out: &mut NodeGen,
+    ctrs: &mut GenCounters,
+) {
     let cfg = ctx.cfg;
     let n_patterns = ctx.sim.n_patterns();
     let lvl = ctx.levels[id.index()];
     let sig_n = ctx.sim.sig(id);
-    let mut out = NodeGen {
-        wire_floor: if cfg.wires { 0 } else { u64::MAX },
-        extra_floor: if cfg.binaries { 0 } else { u64::MAX },
-        ..NodeGen::default()
-    };
+    out.cands.clear();
+    out.deps.clear();
+    out.fo_deps.clear();
+    out.wire_floor = if cfg.wires { 0 } else { u64::MAX };
+    out.extra_floor = if cfg.binaries { 0 } else { u64::MAX };
+    ctrs.pool_misses += 1;
 
     if cfg.constants {
         out.cands.push(Lac::new(id, LacKind::Constant(false)));
@@ -293,13 +383,15 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
     // Candidate substitutes visible to this node.
     let visible = ctx.pool_levels.partition_point(|&l| l <= lvl);
     if visible == 0 {
-        return out;
+        return;
     }
     let (wire_tweak, extra_tweak) = probe_tweaks(cfg.seed, sig_key(sig_n));
 
     // Local divisors: fanins, grand-fanins, and fanout siblings.
+    let seen = &mut scratch.seen;
     seen.begin();
-    let mut locals: Vec<NodeId> = Vec::new();
+    let locals = &mut scratch.locals;
+    locals.clear();
     if let Node::And(a, b) = ctx.aig.node(id) {
         for f in [a.node(), b.node()] {
             if seen.insert(f) {
@@ -324,7 +416,7 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
             }
         }
     }
-    out.deps.extend_from_slice(&locals);
+    out.deps.extend_from_slice(locals);
     locals.retain(|&v| {
         v != id && v != NodeId::CONST0 && ctx.live[v.index()] && ctx.levels[v.index()] <= lvl
     });
@@ -335,19 +427,33 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
         // the constant, so a drawn probe can never equal a local that
         // `retain` dropped — the stamp set therefore dedups exactly as
         // scanning `probes` would.
-        let mut probes = locals.clone();
-        let mut drawn = Vec::new();
-        out.wire_floor = draw_probes(ctx, id, visible, wire_tweak, cfg.max_wire_probes, &mut drawn);
-        for &v in &drawn {
+        let probes = &mut scratch.probes;
+        probes.clear();
+        probes.extend_from_slice(locals);
+        let drawn = &mut scratch.drawn;
+        drawn.clear();
+        out.wire_floor = draw_probes(
+            ctx,
+            id,
+            visible,
+            wire_tweak,
+            cfg.max_wire_probes,
+            &mut scratch.sel,
+            drawn,
+            ctrs,
+        );
+        for &v in drawn.iter() {
             out.deps.push(v);
             if seen.insert(v) {
                 probes.push(v);
             }
         }
-        let mut scored: Vec<(usize, NodeId, bool)> = Vec::with_capacity(probes.len() * 2);
-        for &v in &probes {
+        let scored = &mut scratch.wire_scored;
+        scored.clear();
+        for &v in probes.iter() {
             let sig_v = ctx.sim.sig(v);
-            let d_pos = hamming(sig_n, sig_v, false, n_patterns);
+            let d_pos = xor_distance(sig_n, sig_v, n_patterns);
+            ctrs.strip_cmps += 1;
             let d_neg = n_patterns - d_pos;
             scored.push((d_pos, v, false));
             scored.push((d_neg, v, true));
@@ -361,11 +467,21 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
     if cfg.binaries {
         // A couple of drawn extras diversify the divisor pool; the
         // slot assembly guarantees they survive the size cap.
-        let mut extras: Vec<NodeId> = Vec::new();
-        out.extra_floor =
-            draw_probes(ctx, id, visible, extra_tweak, DIVISOR_PROBE_RESERVE, &mut extras);
-        out.deps.extend_from_slice(&extras);
-        let divisors = assemble_divisors(&locals, &extras, cfg.max_divisors);
+        let extras = &mut scratch.extras;
+        extras.clear();
+        out.extra_floor = draw_probes(
+            ctx,
+            id,
+            visible,
+            extra_tweak,
+            DIVISOR_PROBE_RESERVE,
+            &mut scratch.sel,
+            extras,
+            ctrs,
+        );
+        out.deps.extend_from_slice(extras);
+        assemble_divisors_into(locals, extras, cfg.max_divisors, &mut scratch.divisors);
+        let divisors = &scratch.divisors;
         // The pair made of the target's own fanins with zero
         // deviation reconstructs the identical gate — a no-op.
         let fanin_pair: Option<[NodeId; 2]> = ctx.aig.fanins(id).map(|(a, b)| {
@@ -375,9 +491,11 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
             }
             [x, y]
         });
-        let mut scored: Vec<(usize, Lac)> = Vec::new();
+        let scored = &mut scratch.bin_scored;
+        scored.clear();
         for (i, &v1) in divisors.iter().enumerate() {
             for &v2 in &divisors[i + 1..] {
+                ctrs.strip_cmps += 1;
                 if let Some((tt, dev)) = best_tt2(ctx.sim, id, v1, v2, n_patterns) {
                     let (mut x, mut y) = (v1, v2);
                     if x > y {
@@ -397,13 +515,15 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
         }
 
         if cfg.ternaries && divisors.len() >= 3 {
-            let mut tern: Vec<(usize, Lac)> = Vec::new();
+            let tern = &mut scratch.tern_scored;
+            tern.clear();
             // Bound the triple count: the first six divisors give
             // C(6,3) = 20 triples.
             let ds = &divisors[..divisors.len().min(6)];
             for i in 0..ds.len() {
                 for j in i + 1..ds.len() {
                     for k in j + 1..ds.len() {
+                        ctrs.strip_cmps += 1;
                         if let Some((tt, dev)) =
                             best_tt3(ctx.sim, id, ds[i], ds[j], ds[k], n_patterns)
                         {
@@ -422,7 +542,7 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
                 }
             }
             tern.sort_by_key(|&(d, l)| (d, l.tn, sns_key(&l)));
-            for (_, l) in tern.into_iter().take(cfg.k_ternary) {
+            for &(_, l) in tern.iter().take(cfg.k_ternary) {
                 out.cands.push(l);
             }
         }
@@ -430,7 +550,6 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
 
     out.deps.sort_unstable();
     out.deps.dedup();
-    out
 }
 
 /// Generates candidate LACs for every live AND node of `aig`.
@@ -452,6 +571,16 @@ pub(crate) fn gen_node(ctx: &GenCtx<'_>, id: NodeId, seen: &mut SeenSet) -> Node
 ///
 /// Panics if `sim` does not match `aig`.
 pub fn generate_candidates(aig: &Aig, sim: &Sim, cfg: &CandidateConfig) -> Vec<Lac> {
+    generate_candidates_counted(aig, sim, cfg).0
+}
+
+/// [`generate_candidates`] plus the [`GenCounters`] the pass
+/// accumulated (every node is a pool miss on this fresh path).
+pub fn generate_candidates_counted(
+    aig: &Aig,
+    sim: &Sim,
+    cfg: &CandidateConfig,
+) -> (Vec<Lac>, GenCounters) {
     assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
     let levels = aig.levels().expect("acyclic");
     let live = aig.live_mask();
@@ -469,15 +598,18 @@ pub fn generate_candidates(aig: &Aig, sim: &Sim, cfg: &CandidateConfig) -> Vec<L
         pool_levels: &pool_levels,
         pool_keys: &pool_keys,
     };
-    let mut seen = SeenSet::new(aig.n_nodes());
+    let mut scratch = GenScratch::new(aig.n_nodes());
+    let mut node = NodeGen::default();
+    let mut ctrs = GenCounters::default();
     let mut out = Vec::new();
     for id in aig.and_ids() {
         if !live[id.index()] {
             continue;
         }
-        out.extend_from_slice(&gen_node(&ctx, id, &mut seen).cands);
+        gen_node(&ctx, id, &mut scratch, &mut node, &mut ctrs);
+        out.extend_from_slice(&node.cands);
     }
-    out
+    (out, ctrs)
 }
 
 fn sns_key(l: &Lac) -> (u32, u32, u32) {
@@ -486,12 +618,6 @@ fn sns_key(l: &Lac) -> (u32, u32, u32) {
     let b = it.next().map_or(0, |n| n.index() as u32);
     let c = it.next().map_or(0, |n| n.index() as u32);
     (a, b, c)
-}
-
-fn hamming(a: &[u64], b: &[u64], neg: bool, n_patterns: usize) -> usize {
-    let flip = if neg { u64::MAX } else { 0 };
-    let xs: Vec<u64> = a.iter().zip(b).map(|(x, y)| x ^ y ^ flip).collect();
-    popcount(&xs, n_patterns)
 }
 
 /// Finds the two-input truth table over `(v1, v2)` that best matches the
@@ -505,29 +631,9 @@ fn best_tt2(
     v2: NodeId,
     n_patterns: usize,
 ) -> Option<(u8, usize)> {
-    let st = sim.sig(target);
-    let s1 = sim.sig(v1);
-    let s2 = sim.sig(v2);
     // For each of the four input regions, count patterns where the target
     // is 1 vs 0; the optimal tt picks the majority value per region.
-    let mut ones = [0usize; 4];
-    let mut totals = [0usize; 4];
-    let full = n_patterns / 64;
-    let mut scan = |w: usize, mask: u64| {
-        let (a, b, t) = (s1[w] & mask, s2[w] & mask, st[w] & mask);
-        let regions = [!a & !b & mask, a & !b & mask, !a & b & mask, a & b & mask];
-        for (r, reg) in regions.iter().enumerate() {
-            totals[r] += reg.count_ones() as usize;
-            ones[r] += (reg & t).count_ones() as usize;
-        }
-    };
-    for w in 0..full {
-        scan(w, u64::MAX);
-    }
-    let rem = n_patterns % 64;
-    if rem != 0 {
-        scan(full, (1u64 << rem) - 1);
-    }
+    let (ones, totals) = tt2_counts(sim.sig(target), sim.sig(v1), sim.sig(v2), n_patterns);
     let mut tt = 0u8;
     let mut dev = 0usize;
     for r in 0..4 {
@@ -558,31 +664,13 @@ fn best_tt3(
     v3: NodeId,
     n_patterns: usize,
 ) -> Option<(u8, usize)> {
-    let st = sim.sig(target);
-    let s1 = sim.sig(v1);
-    let s2 = sim.sig(v2);
-    let s3 = sim.sig(v3);
-    let mut ones = [0usize; 8];
-    let mut totals = [0usize; 8];
-    let full = n_patterns / 64;
-    let mut scan = |w: usize, mask: u64| {
-        let (a, b, c, t) = (s1[w], s2[w], s3[w], st[w] & mask);
-        for m in 0..8usize {
-            let ra = if m & 1 != 0 { a } else { !a };
-            let rb = if m & 2 != 0 { b } else { !b };
-            let rc = if m & 4 != 0 { c } else { !c };
-            let reg = ra & rb & rc & mask;
-            totals[m] += reg.count_ones() as usize;
-            ones[m] += (reg & t).count_ones() as usize;
-        }
-    };
-    for w in 0..full {
-        scan(w, u64::MAX);
-    }
-    let rem = n_patterns % 64;
-    if rem != 0 {
-        scan(full, (1u64 << rem) - 1);
-    }
+    let (ones, totals) = tt3_counts(
+        sim.sig(target),
+        sim.sig(v1),
+        sim.sig(v2),
+        sim.sig(v3),
+        n_patterns,
+    );
     let mut tt = 0u8;
     let mut dev = 0usize;
     for m in 0..8 {

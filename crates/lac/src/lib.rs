@@ -34,10 +34,11 @@
 mod gen;
 mod kinds;
 mod store;
+mod strips;
 
-pub use gen::{generate_candidates, CandidateConfig};
+pub use gen::{generate_candidates, generate_candidates_counted, CandidateConfig, GenCounters};
 pub use kinds::{Lac, LacKind};
-pub use store::{CandidateStore, DevMask, StoreStats};
+pub use store::{CandidateStore, DevMask, DevView, StoreStats};
 
 use aig::{Aig, AigError, Fanouts, Lit, NodeId, PatchLog};
 use std::fmt;

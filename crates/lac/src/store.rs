@@ -10,6 +10,18 @@
 //! input its generation read is provably unchanged, so the store's
 //! output is bit-identical to fresh [`crate::generate_candidates`].
 //!
+//! Storage is a typed arena ([`CandArena`]) rather than per-node heap
+//! structures: candidate records, dep/fanout lists, and the sparse
+//! deviation payloads all live in contiguous vectors, and each node's
+//! entry is a handful of `(start, len)` regions ([`EntryMeta`]) keyed
+//! by the arena's generation epoch. Carrying an entry across a roll is
+//! then a region copy into the next epoch's arena (with node ids
+//! rewritten through the remap) instead of moving a fistful of `Vec`s,
+//! and the double-buffered arenas reuse their allocations round over
+//! round. Every region read asserts (in debug builds) that the entry's
+//! epoch matches the arena's, so a stale handle cannot silently read
+//! another generation's data.
+//!
 //! A node's generation reads:
 //!
 //! 1. its own structure, level, liveness, and signature;
@@ -51,7 +63,9 @@
 //! a carried entry is exactly what fresh generation would produce, and
 //! dirty nodes can be regenerated in parallel in any order.
 
-use crate::gen::{build_pool, sig_key, CandidateConfig, GenCtx, SeenSet};
+use crate::gen::{
+    build_pool, sig_key, CandidateConfig, GenCounters, GenCtx, GenScratch, NodeGen,
+};
 use crate::kinds::{Lac, LacKind};
 use aig::{Aig, Fanouts, Lit, Node, NodeId};
 use bitsim::Sim;
@@ -91,6 +105,26 @@ impl DevMask {
             bits: bits.into_boxed_slice(),
         }
     }
+
+    /// A borrowed view of this mask.
+    pub fn view(&self) -> DevView<'_> {
+        DevView {
+            words: &self.words,
+            bits: &self.bits,
+        }
+    }
+}
+
+/// A borrowed sparse deviation mask — the same shape as [`DevMask`],
+/// but backed by someone else's storage (the store's arena, or an owned
+/// `DevMask` via [`DevMask::view`]), so handing masks to the estimator
+/// costs no per-candidate allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct DevView<'a> {
+    /// Ascending word indices with nonzero deviation.
+    pub words: &'a [u32],
+    /// The deviation bits at each entry of `words`.
+    pub bits: &'a [u64],
 }
 
 /// Counters describing store behaviour, for benches and diagnostics.
@@ -116,13 +150,34 @@ pub struct StoreStats {
     pub inv_pool: usize,
 }
 
-/// One node's surviving state.
-#[derive(Debug, Clone)]
-struct StoreEntry {
-    cands: Vec<Lac>,
-    devs: Vec<DevMask>,
-    deps: Vec<NodeId>,
-    fo_deps: Vec<NodeId>,
+/// A `(start, len)` slice handle into one of the arena's vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Region {
+    start: u32,
+    len: u32,
+}
+
+impl Region {
+    fn new(start: usize, len: usize) -> Self {
+        Region {
+            start: u32::try_from(start).expect("arena region fits u32"),
+            len: len as u32,
+        }
+    }
+
+    fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..self.start as usize + self.len as usize
+    }
+}
+
+/// One node's surviving state: regions into the owning [`CandArena`]
+/// plus the scalar invalidation inputs. `cands` indexes both
+/// `CandArena::cands` and the aligned `CandArena::dev_index`.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    cands: Region,
+    deps: Region,
+    fo_deps: Region,
     /// Rendezvous selection floors of the wire and extras draws (see
     /// [`crate::gen::NodeGen`]): a pool node entering this target's
     /// visible range invalidates the entry iff its weight reaches a
@@ -132,6 +187,179 @@ struct StoreEntry {
     /// Store generation this entry was (re)built in, for tests and
     /// diagnostics.
     born: u64,
+    /// Arena epoch the regions point into; must equal the live arena's
+    /// epoch at every read.
+    epoch: u64,
+}
+
+/// The typed arena backing every entry of one generation epoch:
+/// candidate records, per-candidate sparse deviation payloads, and
+/// dep/fanout lists, each in one contiguous vector. `cands` and
+/// `dev_index` are index-aligned (one deviation region per candidate).
+#[derive(Debug, Default)]
+struct CandArena {
+    epoch: u64,
+    cands: Vec<Lac>,
+    dev_index: Vec<Region>,
+    dev_words: Vec<u32>,
+    dev_bits: Vec<u64>,
+    deps: Vec<NodeId>,
+    fo_deps: Vec<NodeId>,
+}
+
+impl CandArena {
+    /// Empties the arena (keeping capacity) and stamps it with `epoch`.
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.cands.clear();
+        self.dev_index.clear();
+        self.dev_words.clear();
+        self.dev_bits.clear();
+        self.deps.clear();
+        self.fo_deps.clear();
+    }
+
+    /// Grows each buffer to at least `like`'s occupancy — the next
+    /// epoch holds roughly what the last one did, so sizing from it up
+    /// front turns the carry/regen appends into straight `memcpy`s
+    /// instead of repeated doubling growth (which otherwise dominates
+    /// the first roll, before the double-buffered arenas reach their
+    /// steady-state capacity).
+    fn reserve_like(&mut self, like: &CandArena) {
+        self.cands.reserve(like.cands.len());
+        self.dev_index.reserve(like.dev_index.len());
+        self.dev_words.reserve(like.dev_words.len());
+        self.dev_bits.reserve(like.dev_bits.len());
+        self.deps.reserve(like.deps.len());
+        self.fo_deps.reserve(like.fo_deps.len());
+    }
+
+    /// Appends one freshly generated node, computing each candidate's
+    /// deviation payload straight into the arena (no intermediate
+    /// `DevMask` allocation). `scratch` is a `sim.stride()`-word
+    /// workspace.
+    fn push_node(&mut self, g: &NodeGen, sim: &Sim, scratch: &mut [u64], born: u64) -> EntryMeta {
+        let cand_start = self.cands.len();
+        for c in &g.cands {
+            c.signature_into(sim, scratch);
+            let base = sim.sig(c.tn);
+            let dstart = self.dev_words.len();
+            for (w, (&x, &b)) in scratch.iter().zip(base).enumerate() {
+                let d = x ^ b;
+                if d != 0 {
+                    self.dev_words.push(w as u32);
+                    self.dev_bits.push(d);
+                }
+            }
+            self.dev_index
+                .push(Region::new(dstart, self.dev_words.len() - dstart));
+        }
+        self.cands.extend_from_slice(&g.cands);
+        debug_assert_eq!(self.cands.len(), self.dev_index.len());
+        let deps_start = self.deps.len();
+        self.deps.extend_from_slice(&g.deps);
+        let fo_start = self.fo_deps.len();
+        self.fo_deps.extend_from_slice(&g.fo_deps);
+        EntryMeta {
+            cands: Region::new(cand_start, g.cands.len()),
+            deps: Region::new(deps_start, g.deps.len()),
+            fo_deps: Region::new(fo_start, g.fo_deps.len()),
+            wire_floor: g.wire_floor,
+            extra_floor: g.extra_floor,
+            born,
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// Copies a surviving entry's regions from `old` into `next`, rewriting
+/// node ids through the cleanup remap. Deviation payloads are copied
+/// verbatim — they depend only on signatures, which survival pins.
+/// `skip_remap` is the [`CandidateStore::inject_stale_arena_carry`]
+/// fault: the regions are copied and re-stamped with the new epoch, but
+/// the candidate payload keeps its old-revision node ids.
+fn carry_entry(
+    old: &CandArena,
+    meta: &EntryMeta,
+    next: &mut CandArena,
+    new_tn: NodeId,
+    remap: &[Option<Lit>],
+    skip_remap: bool,
+) -> EntryMeta {
+    debug_assert_eq!(meta.epoch, old.epoch, "carrying from a stale arena");
+    let img = |n: NodeId| node_image(remap, n).expect("surviving entries reference clean nodes");
+    let cand_start = next.cands.len();
+    let cr = meta.cands.range();
+    next.cands.extend_from_slice(&old.cands[cr.clone()]);
+    if !cr.is_empty() {
+        // One entry's per-candidate dev payloads are contiguous in the
+        // arena by construction (`push_node` and this function both
+        // append them candidate by candidate), so the whole entry moves
+        // as one block copy per buffer; only the region starts rebase.
+        let base = old.dev_index[cr.start].start as usize;
+        let last = old.dev_index[cr.end - 1];
+        let end = last.start as usize + last.len as usize;
+        let dstart = next.dev_words.len();
+        next.dev_words.extend_from_slice(&old.dev_words[base..end]);
+        next.dev_bits.extend_from_slice(&old.dev_bits[base..end]);
+        let mut expected = base;
+        for ci in cr {
+            let r = old.dev_index[ci];
+            debug_assert_eq!(r.start as usize, expected, "entry dev payload not contiguous");
+            expected = r.start as usize + r.len as usize;
+            next.dev_index
+                .push(Region::new(dstart + r.start as usize - base, r.len as usize));
+        }
+    }
+    debug_assert_eq!(next.cands.len(), next.dev_index.len());
+    if !skip_remap {
+        for c in &mut next.cands[cand_start..] {
+            c.tn = new_tn;
+            match &mut c.kind {
+                LacKind::Constant(_) => {}
+                LacKind::Wire { sn, .. } => *sn = img(*sn),
+                LacKind::Binary { sns, .. } => {
+                    for s in sns.iter_mut() {
+                        *s = img(*s);
+                    }
+                }
+                LacKind::Ternary { sns, .. } => {
+                    for s in sns.iter_mut() {
+                        *s = img(*s);
+                    }
+                }
+            }
+        }
+    }
+    let deps_start = next.deps.len();
+    next.deps.extend_from_slice(&old.deps[meta.deps.range()]);
+    for d in &mut next.deps[deps_start..] {
+        *d = img(*d);
+    }
+    let fo_start = next.fo_deps.len();
+    next.fo_deps.extend_from_slice(&old.fo_deps[meta.fo_deps.range()]);
+    for d in &mut next.fo_deps[fo_start..] {
+        *d = img(*d);
+    }
+    EntryMeta {
+        cands: Region::new(cand_start, meta.cands.len as usize),
+        deps: Region::new(deps_start, meta.deps.len as usize),
+        fo_deps: Region::new(fo_start, meta.fo_deps.len as usize),
+        wire_floor: meta.wire_floor,
+        extra_floor: meta.extra_floor,
+        born: meta.born,
+        epoch: next.epoch,
+    }
+}
+
+/// One parallel regeneration chunk: entries built into a private
+/// mini-arena (regions local to it), appended into the epoch arena
+/// sequentially afterwards so the final layout is thread-count
+/// independent.
+struct ChunkBuild {
+    metas: Vec<EntryMeta>,
+    arena: CandArena,
+    ctrs: GenCounters,
 }
 
 /// Persistent cross-round candidate generator. See the module docs for
@@ -144,7 +372,11 @@ pub struct CandidateStore {
     n_patterns: usize,
     generation: u64,
     cfg_key: Option<CandidateConfig>,
-    entries: Vec<Option<StoreEntry>>,
+    entries: Vec<Option<EntryMeta>>,
+    /// The live epoch's arena, and the previous epoch's (kept to reuse
+    /// its allocations as the next epoch's target).
+    arena: CandArena,
+    spare: CandArena,
     // Snapshot of the revision `entries` belongs to.
     snap_nodes: Vec<Node>,
     snap_levels: Vec<u32>,
@@ -152,10 +384,14 @@ pub struct CandidateStore {
     snap_sigs: Vec<u64>,
     snap_pool: Vec<NodeId>,
     stats: StoreStats,
+    last_counters: GenCounters,
     /// Test-support fault injection: skip survival condition 3 (exact
     /// fanout-list preservation) during carry. See
     /// [`CandidateStore::inject_skip_fanout_invalidation`].
     skip_fanout_invalidation: bool,
+    /// Test-support fault injection: carry region copies without the
+    /// remap rewrite. See [`CandidateStore::inject_stale_arena_carry`].
+    stale_arena_carry: bool,
 }
 
 /// The image of an old-revision literal under the cleanup remapping.
@@ -191,6 +427,14 @@ impl CandidateStore {
         self.stats
     }
 
+    /// The candgen sub-phase counters of the last
+    /// [`CandidateStore::generate`] call: probe draws and strip
+    /// comparisons of the regenerated nodes, plus the carry (pool
+    /// hit/miss) split.
+    pub fn last_gen_counters(&self) -> GenCounters {
+        self.last_counters
+    }
+
     /// Rolls the store forward to the circuit revision `(aig, sim)` and
     /// returns the full candidate list, bit-identical to
     /// [`crate::generate_candidates`] on the same inputs.
@@ -215,6 +459,7 @@ impl CandidateStore {
         assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
         self.generation += 1;
         self.stats.rounds += 1;
+        self.last_counters = GenCounters::default();
         let n_new = aig.n_nodes();
         let stride = sim.stride();
         let levels = aig.levels().expect("acyclic");
@@ -222,6 +467,14 @@ impl CandidateStore {
         let fanouts = Fanouts::build(aig);
         let (pool_nodes, pool_levels) = build_pool(aig, &levels, &live);
         let pool_keys = crate::gen::pool_sig_keys(sim, &pool_nodes);
+
+        // The previous epoch's arena becomes the next epoch's target;
+        // its buffers are already sized for a full circuit worth of
+        // entries, so carry and regen both append without reallocating
+        // in the steady state.
+        let mut next = std::mem::take(&mut self.spare);
+        next.reset(self.generation);
+        next.reserve_like(&self.arena);
 
         let carried = if self.snap_nodes.is_empty()
             || stride != self.stride
@@ -231,10 +484,12 @@ impl CandidateStore {
             None
         } else {
             remap.and_then(|r| {
-                self.carry(aig, sim, cfg, &levels, &live, &fanouts, &pool_nodes, &pool_keys, r)
+                self.carry(
+                    aig, sim, cfg, &levels, &live, &fanouts, &pool_nodes, &pool_keys, r, &mut next,
+                )
             })
         };
-        self.entries = match carried {
+        let mut entries = match carried {
             Some(entries) => entries,
             None => {
                 if self.entries.iter().any(Option::is_some) {
@@ -246,10 +501,11 @@ impl CandidateStore {
 
         // Regenerate every live AND node without a surviving entry, in
         // parallel. gen_node depends only on (ctx, id), so chunking is
-        // unobservable in the results.
+        // unobservable in the results: each chunk builds a private
+        // mini-arena, and the chunks are appended in dirty order.
         let dirty: Vec<NodeId> = aig
             .and_ids()
-            .filter(|id| live[id.index()] && self.entries[id.index()].is_none())
+            .filter(|id| live[id.index()] && entries[id.index()].is_none())
             .collect();
         self.stats.regenerated += dirty.len();
         if !dirty.is_empty() {
@@ -265,39 +521,69 @@ impl CandidateStore {
                 pool_keys: &pool_keys,
             };
             let born = self.generation;
+            let build_range = |range: std::ops::Range<usize>| {
+                let mut scratch = GenScratch::new(n_new);
+                let mut node = NodeGen::default();
+                let mut sig = vec![0u64; stride];
+                let mut cb = ChunkBuild {
+                    metas: Vec::with_capacity(range.len()),
+                    arena: CandArena::default(),
+                    ctrs: GenCounters::default(),
+                };
+                for k in range {
+                    crate::gen::gen_node(&ctx, dirty[k], &mut scratch, &mut node, &mut cb.ctrs);
+                    cb.metas.push(cb.arena.push_node(&node, sim, &mut sig, born));
+                }
+                cb
+            };
+            // Chunk layout is append-in-dirty-order either way, so the
+            // output is independent of how the ranges are scheduled;
+            // small dirty sets (the steady state after a local commit)
+            // skip the pool dispatch entirely.
             let chunk = dirty.len().div_ceil(pool.threads() * 2).max(1);
-            let built: Vec<Vec<StoreEntry>> =
-                pool.par_chunk_results(dirty.len(), chunk, |_, range| {
-                    let mut seen = SeenSet::new(n_new);
-                    let mut scratch = vec![0u64; stride];
-                    range
-                        .map(|k| {
-                            let g = crate::gen::gen_node(&ctx, dirty[k], &mut seen);
-                            let devs = g
-                                .cands
-                                .iter()
-                                .map(|c| DevMask::of(sim, c, &mut scratch))
-                                .collect();
-                            StoreEntry {
-                                cands: g.cands,
-                                devs,
-                                deps: g.deps,
-                                fo_deps: g.fo_deps,
-                                wire_floor: g.wire_floor,
-                                extra_floor: g.extra_floor,
-                                born,
-                            }
-                        })
-                        .collect()
-                });
+            let built: Vec<ChunkBuild> = if dirty.len() <= 64 || pool.threads() == 1 {
+                vec![build_range(0..dirty.len())]
+            } else {
+                pool.par_chunk_results(dirty.len(), chunk, |_, range| build_range(range))
+            };
             let mut ids = dirty.iter();
-            for batch in built {
-                for e in batch {
+            for cb in built {
+                self.last_counters.merge(&cb.ctrs);
+                let base_c = next.cands.len();
+                let base_d = next.deps.len();
+                let base_f = next.fo_deps.len();
+                let base_w = next.dev_words.len();
+                next.cands.extend_from_slice(&cb.arena.cands);
+                next.deps.extend_from_slice(&cb.arena.deps);
+                next.fo_deps.extend_from_slice(&cb.arena.fo_deps);
+                next.dev_words.extend_from_slice(&cb.arena.dev_words);
+                next.dev_bits.extend_from_slice(&cb.arena.dev_bits);
+                next.dev_index.extend(
+                    cb.arena
+                        .dev_index
+                        .iter()
+                        .map(|r| Region::new(base_w + r.start as usize, r.len as usize)),
+                );
+                for meta in cb.metas {
                     let id = ids.next().expect("one entry per dirty node");
-                    self.entries[id.index()] = Some(e);
+                    entries[id.index()] = Some(EntryMeta {
+                        cands: Region::new(base_c + meta.cands.start as usize, meta.cands.len as usize),
+                        deps: Region::new(base_d + meta.deps.start as usize, meta.deps.len as usize),
+                        fo_deps: Region::new(
+                            base_f + meta.fo_deps.start as usize,
+                            meta.fo_deps.len as usize,
+                        ),
+                        epoch: next.epoch,
+                        ..meta
+                    });
                 }
             }
+            debug_assert_eq!(next.cands.len(), next.dev_index.len());
         }
+
+        // Install the new epoch; the old arena becomes the spare.
+        self.spare = std::mem::replace(&mut self.arena, next);
+        self.entries = entries;
 
         // Snapshot this revision for the next roll.
         self.stride = stride;
@@ -313,24 +599,34 @@ impl CandidateStore {
         self.snap_live = live;
         self.snap_pool = pool_nodes;
 
-        let mut out = Vec::new();
-        for e in self.entries.iter().flatten() {
-            out.extend_from_slice(&e.cands);
+        let mut out = Vec::with_capacity(self.arena.cands.len());
+        for m in self.entries.iter().flatten() {
+            debug_assert_eq!(m.epoch, self.arena.epoch, "stale entry epoch");
+            out.extend_from_slice(&self.arena.cands[m.cands.range()]);
         }
         out
     }
 
     /// Deviation masks aligned one-to-one with the flat candidate list
-    /// returned by the last [`CandidateStore::generate`] call.
-    pub fn devs(&self) -> Vec<&DevMask> {
-        self.entries
-            .iter()
-            .flatten()
-            .flat_map(|e| e.devs.iter())
-            .collect()
+    /// returned by the last [`CandidateStore::generate`] call, borrowed
+    /// from the arena (no payload is copied or allocated).
+    pub fn devs(&self) -> Vec<DevView<'_>> {
+        let mut out = Vec::with_capacity(self.arena.cands.len());
+        for m in self.entries.iter().flatten() {
+            debug_assert_eq!(m.epoch, self.arena.epoch, "stale entry epoch");
+            for ci in m.cands.range() {
+                let r = self.arena.dev_index[ci];
+                out.push(DevView {
+                    words: &self.arena.dev_words[r.range()],
+                    bits: &self.arena.dev_bits[r.range()],
+                });
+            }
+        }
+        out
     }
 
-    /// Computes the surviving entry table, or `None` to flush.
+    /// Computes the surviving entry table (copying survivors into
+    /// `next`), or `None` to flush.
     #[allow(clippy::too_many_arguments)]
     fn carry(
         &mut self,
@@ -343,7 +639,8 @@ impl CandidateStore {
         pool_nodes: &[NodeId],
         pool_keys: &[u64],
         remap: &[Option<Lit>],
-    ) -> Option<Vec<Option<StoreEntry>>> {
+        next: &mut CandArena,
+    ) -> Option<Vec<Option<EntryMeta>>> {
         let n_new = aig.n_nodes();
 
         // Positive, collision-free preimages. A negated image (strash
@@ -373,7 +670,13 @@ impl CandidateStore {
         // order, and `Aig::and` canonicalizes operand order by literal
         // value, which a compaction can legitimately flip. Full-word
         // signatures (not pattern-masked) because deviation masks are
-        // stored verbatim.
+        // stored verbatim. (Relaxing the dep bar to level-*membership*
+        // — same side of the `level <= target level` eligibility test —
+        // was prototyped and measured: on the alu4/ER flow it reclaims
+        // 5 of 7475 regenerations, because dep invalidations are
+        // overwhelmingly dead nodes and genuine signature changes in
+        // the committed LAC's fanout cone, not depth-only shifts. The
+        // equal-level bar keeps the simpler soundness argument.)
         let mut struct_clean = vec![false; n_new];
         let mut clean = vec![false; n_new];
         for m in 0..n_new {
@@ -456,8 +759,7 @@ impl CandidateStore {
             .map(|(i, v)| (levels[v.index()], pool_keys[i]))
             .collect();
 
-        let mut old_entries = std::mem::take(&mut self.entries);
-        let mut out: Vec<Option<StoreEntry>> = vec![None; n_new];
+        let mut out: Vec<Option<EntryMeta>> = vec![None; n_new];
         let mut carried = 0usize;
         for m in 0..n_new {
             let Some(p) = pre[m].map(|p| p as usize) else {
@@ -466,7 +768,7 @@ impl CandidateStore {
             if collide[m] {
                 continue;
             }
-            let Some(entry) = old_entries.get_mut(p).and_then(Option::take) else {
+            let Some(meta) = self.entries.get(p).copied().flatten() else {
                 continue;
             };
             if !clean[m] {
@@ -482,9 +784,9 @@ impl CandidateStore {
             // old fanouts, remapped, must be exactly the new list.
             // `struct_clean` then pins each fanout's sibling edges.
             let fos = fanouts.of(id);
-            let fo_ok = fos.len() == entry.fo_deps.len()
-                && entry
-                    .fo_deps
+            let fo_deps = &self.arena.fo_deps[meta.fo_deps.range()];
+            let fo_ok = fos.len() == fo_deps.len()
+                && fo_deps
                     .iter()
                     .zip(fos)
                     .all(|(&d, &f)| node_image(remap, d) == Some(f) && struct_clean[f.index()]);
@@ -492,8 +794,8 @@ impl CandidateStore {
                 self.stats.inv_fanout += 1;
                 continue;
             }
-            if !entry
-                .deps
+            let deps = &self.arena.deps[meta.deps.range()];
+            if !deps
                 .iter()
                 .all(|&d| node_image(remap, d).is_some_and(|i| clean[i.index()]))
             {
@@ -507,7 +809,7 @@ impl CandidateStore {
             // must stay strictly ascending).
             let dep_order_ok = {
                 let mut last = -1i64;
-                entry.deps.iter().all(|&d| match node_image(remap, d) {
+                deps.iter().all(|&d| match node_image(remap, d) {
                     Some(i) => {
                         let ix = i.index() as i64;
                         let ok = ix > last;
@@ -527,8 +829,8 @@ impl CandidateStore {
                     let (wt, et) = crate::gen::probe_tweaks(cfg.seed, sig_key(sim.sig(id)));
                     !dirty_pool.iter().any(|&(dl, dk)| {
                         dl <= lvl
-                            && (crate::gen::pair_weight(wt, dk) >= entry.wire_floor
-                                || crate::gen::pair_weight(et, dk) >= entry.extra_floor)
+                            && (crate::gen::pair_weight(wt, dk) >= meta.wire_floor
+                                || crate::gen::pair_weight(et, dk) >= meta.extra_floor)
                     })
                 }
             };
@@ -536,10 +838,18 @@ impl CandidateStore {
                 self.stats.inv_pool += 1;
                 continue;
             }
-            out[m] = Some(remap_entry(entry, id, remap));
+            out[m] = Some(carry_entry(
+                &self.arena,
+                &meta,
+                next,
+                id,
+                remap,
+                self.stale_arena_carry,
+            ));
             carried += 1;
         }
         self.stats.carried += carried;
+        self.last_counters.pool_hits = carried as u64;
         Some(out)
     }
 
@@ -560,37 +870,19 @@ impl CandidateStore {
     pub fn inject_skip_fanout_invalidation(&mut self, on: bool) {
         self.skip_fanout_invalidation = on;
     }
-}
 
-/// Rewrites a surviving entry into new-revision node ids. Every id it
-/// references is a clean dep (or the target itself), so positive images
-/// are guaranteed.
-fn remap_entry(mut e: StoreEntry, new_tn: NodeId, remap: &[Option<Lit>]) -> StoreEntry {
-    let img = |n: NodeId| node_image(remap, n).expect("surviving entries reference clean nodes");
-    for c in &mut e.cands {
-        c.tn = new_tn;
-        match &mut c.kind {
-            LacKind::Constant(_) => {}
-            LacKind::Wire { sn, .. } => *sn = img(*sn),
-            LacKind::Binary { sns, .. } => {
-                for s in sns.iter_mut() {
-                    *s = img(*s);
-                }
-            }
-            LacKind::Ternary { sns, .. } => {
-                for s in sns.iter_mut() {
-                    *s = img(*s);
-                }
-            }
-        }
+    /// Test-support fault injection: when enabled, carry copies a
+    /// surviving entry's arena regions into the new epoch *without*
+    /// rewriting the candidate payload through the cleanup remap — the
+    /// exact hazard the arena epoch discipline exists to prevent
+    /// (treating an old epoch's payload as current). Whenever a carried
+    /// node's id actually shifted, the store's output diverges from
+    /// fresh generation, which the differential oracles must catch.
+    /// Never enable outside tests.
+    #[doc(hidden)]
+    pub fn inject_stale_arena_carry(&mut self, on: bool) {
+        self.stale_arena_carry = on;
     }
-    for d in &mut e.deps {
-        *d = img(*d);
-    }
-    for d in &mut e.fo_deps {
-        *d = img(*d);
-    }
-    e
 }
 
 /// Structural equality of a new node against its old preimage, with the
@@ -677,6 +969,10 @@ mod tests {
         assert_eq!(rolled, fresh);
         let stats = store.stats();
         assert!(stats.carried > 0, "roll carried nothing: {stats:?}");
+        let ctrs = store.last_gen_counters();
+        assert_eq!(ctrs.pool_hits, stats.carried as u64);
+        assert!(ctrs.pool_misses > 0, "the edit must dirty something");
+        assert!(ctrs.probe_draws > 0 && ctrs.strip_cmps > 0, "{ctrs:?}");
 
         // Dev masks match a direct recomputation.
         let devs = store.devs();
@@ -684,8 +980,8 @@ mod tests {
         let mut scratch = vec![0u64; sim1.stride()];
         for (lac, dev) in rolled.iter().zip(&devs) {
             let direct = DevMask::of(&sim1, lac, &mut scratch);
-            assert_eq!(dev.words, direct.words, "{lac}: dev words drifted");
-            assert_eq!(dev.bits, direct.bits, "{lac}: dev bits drifted");
+            assert_eq!(dev.words, &*direct.words, "{lac}: dev words drifted");
+            assert_eq!(dev.bits, &*direct.bits, "{lac}: dev bits drifted");
         }
     }
 
@@ -741,6 +1037,65 @@ mod tests {
             Some(1),
             "unrelated node must survive: {:?}",
             store.stats()
+        );
+    }
+
+    #[test]
+    fn stale_arena_carry_fault_is_observable() {
+        // Same two-subcircuit shape as above: bypassing S frees a node,
+        // so cleanup shifts the ids of everything behind it — including
+        // the carried control node W. With the stale-arena fault on,
+        // W's carried candidates keep their old-epoch node ids, so the
+        // store's output must diverge from fresh generation (this is
+        // the divergence the differential oracles exist to catch).
+        let build = || {
+            let mut g = Aig::new("sib", 6);
+            let (a, b, c, d, e, f) =
+                (g.pi(0), g.pi(1), g.pi(2), g.pi(3), g.pi(4), g.pi(5));
+            let x = g.and(a, b);
+            let t = g.and(c, d);
+            let s = g.and(t, e);
+            let fo = g.and(x, s);
+            let w = g.and(e, f);
+            g.add_output(fo, "fo");
+            g.add_output(w, "w");
+            g.add_output(t, "t");
+            (g, s, t, w)
+        };
+        let run = |fault: bool| {
+            let (g, s, t, w) = build();
+            let pats = Patterns::exhaustive(6);
+            let sim = simulate(&g, &pats);
+            let cfg = CandidateConfig::default();
+            let mut store = CandidateStore::new();
+            store.inject_stale_arena_carry(fault);
+            store.generate(&g, &sim, &cfg, None, leaked_pool(1));
+            let mut g1 = g.clone();
+            crate::apply(
+                &mut g1,
+                &Lac::new(s.node(), LacKind::Wire { sn: t.node(), neg: false }),
+            )
+            .unwrap();
+            let remap = g1.cleanup().unwrap();
+            // The carried node's id must actually shift, or the fault
+            // would be unobservable by construction.
+            assert_ne!(remap[w.node().index()].unwrap().node(), w.node());
+            let sim1 = simulate(&g1, &pats);
+            let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(1));
+            let fresh = generate_candidates(&g1, &sim1, &cfg);
+            assert!(
+                store.stats().carried > 0,
+                "fault path not exercised: {:?}",
+                store.stats()
+            );
+            (rolled, fresh)
+        };
+        let (clean_rolled, clean_fresh) = run(false);
+        assert_eq!(clean_rolled, clean_fresh, "control: no fault, no drift");
+        let (rolled, fresh) = run(true);
+        assert_ne!(
+            rolled, fresh,
+            "stale-arena carry must be observable in the candidate list"
         );
     }
 

@@ -37,8 +37,11 @@ fi
 echo "== bench smoke (offline): bench_flow --smoke =="
 cargo run --release --offline -p accals-bench --bin bench_flow -- --smoke
 
-# Topset-identity smoke: the bound-pruned top-k scorer must reproduce
-# the dense score-and-select top set bit-for-bit.
+# Estimation smoke: the bound-pruned top-k scorer must reproduce the
+# dense score-and-select top set bit-for-bit; warm candidate generation
+# must reproduce fresh generation (lists and deviation payloads); and
+# repeated warm scoring must draw all scratch from the deviation pool
+# (zero fresh allocations, asserted on the pool's counter).
 echo "== bench smoke (offline): bench_estimate --smoke =="
 cargo run --release --offline -p accals-bench --bin bench_estimate -- --smoke
 

@@ -16,7 +16,7 @@ use aig::{Aig, Lit};
 use bitsim::{simulate, Patterns};
 use errmetrics::{ErrorEval, MetricKind};
 use estimate::{BatchEstimator, MaskCache};
-use lac::{generate_candidates, CandidateConfig, CandidateStore, Lac, ScoredLac};
+use lac::{generate_candidates, CandidateConfig, CandidateStore, DevMask, Lac, ScoredLac};
 use parkit::ThreadPool;
 use prng::rngs::StdRng;
 use prng::seq::SliceRandom;
@@ -72,6 +72,25 @@ fn assert_rounds_equivalent(name: &str, kind: MetricKind, threads: usize, n_roun
         let fresh = generate_candidates(&current, &sim, &cfg);
         let rolled = store.generate(&current, &sim, &cfg, remap.as_deref(), pool);
         assert_eq!(fresh, rolled, "{}: candidate lists differ", what(round));
+
+        // The arena-held deviation payloads (carried regions included)
+        // must be the bits a direct recomputation produces.
+        let mut scratch = vec![0u64; sim.stride()];
+        for (lac, dev) in fresh.iter().zip(store.devs()) {
+            let direct = DevMask::of(&sim, lac, &mut scratch);
+            assert_eq!(
+                dev.words,
+                &*direct.words,
+                "{}: deviation words of {lac} drifted",
+                what(round)
+            );
+            assert_eq!(
+                dev.bits,
+                &*direct.bits,
+                "{}: deviation bits of {lac} drifted",
+                what(round)
+            );
+        }
 
         let fresh_scored = BatchEstimator::new(&current, &sim, &eval)
             .use_pool(pool)

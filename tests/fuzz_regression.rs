@@ -69,6 +69,28 @@ fn injected_store_fault_is_caught_and_shrunk() {
     assert_eq!(refail.oracle, result.failure.oracle);
 }
 
+/// Same exercise for the candidate arena's remap-on-carry invariant:
+/// skip the payload remap so carried entries keep pre-roll node ids,
+/// and confirm the candidate-store differential oracle (stored list vs
+/// fresh generation) catches the stale ids within a short soak.
+#[test]
+fn injected_stale_arena_fault_is_caught() {
+    let failure = fuzzkit::soak(0xacca15, 50, Fault::StoreStaleArena, |_, _| {})
+        .expect("injected stale arena carry must be caught within 50 cases");
+    assert!(
+        failure.oracle.starts_with("candidate-store/"),
+        "expected a candidate-store oracle to fire, got {}",
+        failure.oracle
+    );
+
+    // The repro line round-trips and still fails with the same oracle.
+    let line = failure.repro_line();
+    let reparsed: FuzzCase = line.parse().expect("repro line must parse");
+    assert_eq!(reparsed, failure.case);
+    let refail = run_case(&reparsed).expect_err("repro must still fail");
+    assert_eq!(refail.oracle, failure.oracle);
+}
+
 /// Same exercise for the top-k scorer's soundness oracle: publish an
 /// unsound (too low) pruning threshold, so genuinely cheap candidates
 /// are abandoned before exact scoring, and confirm the differential

@@ -13,7 +13,7 @@ use aig::Aig;
 use bitsim::{simulate, Patterns, Sim};
 use errmetrics::{ErrorEval, MetricKind};
 use estimate::BatchEstimator;
-use lac::{generate_candidates, CandidateConfig, DevMask, Lac, ScoredLac};
+use lac::{generate_candidates, CandidateConfig, DevMask, DevView, Lac, ScoredLac};
 use parkit::ThreadPool;
 
 const R_REF: usize = 40;
@@ -70,7 +70,7 @@ fn check_snapshot(g: &Aig, sim: &Sim, eval: &ErrorEval, cands: &[Lac], what: &st
         .iter()
         .map(|l| DevMask::of(sim, l, &mut scratch))
         .collect();
-    let dev_refs: Vec<&DevMask> = devs.iter().collect();
+    let dev_views: Vec<DevView<'_>> = devs.iter().map(|d| d.view()).collect();
 
     let k = R_REF.max(64);
     for threads in [1, 2, 8] {
@@ -84,7 +84,7 @@ fn check_snapshot(g: &Aig, sim: &Sim, eval: &ErrorEval, cands: &[Lac], what: &st
 
         let (cached, cs) = BatchEstimator::new(g, sim, eval)
             .use_pool(leaked_pool(threads))
-            .score_topk_cached(cands, &dev_refs, k);
+            .score_topk_cached(cands, &dev_views, k);
         assert_eq!(cs.n_candidates, n_retained);
         let cached_top = obtain_top_set_from(cached, e, e_b, R_REF, cs.n_candidates);
         assert_sets_identical(&dense_top, &cached_top, &format!("{what} cached t={threads}"));
