@@ -1,28 +1,11 @@
-use crate::conflict::find_solve_conflicts;
-use crate::indep::select_indep_lacs;
-use crate::topset::obtain_top_set_from;
+use crate::engine::FlowInstance;
 use crate::trace::RoundTrace;
-use crate::trial::{TrialEval, TrialMeasure};
 use crate::AccalsConfig;
-use aig::{Aig, Lit};
-use bitsim::{simulate, ConeTopology, Patterns, Sim};
-use errmetrics::{error, ErrorEval};
-use estimate::{BatchEstimator, MaskCache};
-use lac::{apply_all, ApplyReport, Lac, ScoredLac};
+use aig::Aig;
+use bitsim::Patterns;
 use parkit::ThreadPool;
-use prng::rngs::StdRng;
-use prng::seq::SliceRandom;
-use prng::SeedableRng;
-use std::time::{Duration, Instant};
-
-/// A selected round edit: the winning candidate, the committed circuit,
-/// its measured error, the apply report, and the cleanup remap.
-type PickedEdit = (ScoredLac, Aig, f64, ApplyReport, Vec<Option<Lit>>);
-
-/// Milliseconds of a duration, for the per-phase round timings.
-fn ms(d: Duration) -> f64 {
-    d.as_secs_f64() * 1e3
-}
+use std::sync::Arc;
+use std::time::Duration;
 
 /// The AccALS synthesis engine. Construct with a configuration, then
 /// call [`Accals::synthesize`].
@@ -162,10 +145,7 @@ impl Accals {
     ///
     /// Panics if a configuration parameter is out of range.
     pub fn new(cfg: AccalsConfig) -> Self {
-        assert!(cfg.error_bound > 0.0, "error bound must be positive");
-        assert!((0.0..=1.0).contains(&cfg.l_e), "l_e must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&cfg.l_d), "l_d must be in [0, 1]");
-        assert!(cfg.lambda > 0.0, "lambda must be positive");
+        crate::validate_config(&cfg);
         Accals {
             cfg,
             pool: parkit::global(),
@@ -210,680 +190,13 @@ impl Accals {
     ///
     /// Panics if `pats` does not cover `golden.n_pis()` inputs.
     pub fn synthesize_with_patterns(&self, golden: &Aig, pats: &Patterns) -> SynthesisResult {
-        let cfg = &self.cfg;
-        let start = Instant::now();
-        let golden_sigs = simulate(golden, pats).output_sigs(golden);
-        let mut eval = ErrorEval::new(cfg.metric, &golden_sigs, pats.n_patterns());
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed_cafe);
-        let initial_ands = golden.n_ands();
-        let r_ref = cfg.r_ref.resolve(initial_ands, 0);
-        let r_sel = cfg.r_sel.resolve(initial_ands, 1);
-
-        let mut current = golden.clone();
-        let mut e = 0.0_f64;
-        let mut rounds: Vec<RoundTrace> = Vec::new();
-        let mut rounds_since_shrink = 0usize;
-        // Transfer masks survive across rounds; `last_remap` carries the
-        // node remapping of the accepted edit so the cache can tell
-        // which fanout cones the round actually dirtied.
-        let mut mask_cache = MaskCache::new();
-        // The candidate store survives across rounds under the same
-        // remap contract as the mask cache: a node regenerates only if
-        // its generation inputs changed.
-        let mut cand_store = lac::CandidateStore::new();
-        let mut last_remap: Option<Vec<Option<Lit>>> = None;
-
-        for round in 0..cfg.max_rounds {
-            let sim = simulate(&current, pats);
-            eval.rebase(&sim.output_sigs(&current));
-            let t_candgen = Instant::now();
-            let (cands, gen_ctrs) = if cfg.incremental_candgen {
-                let cands = cand_store.generate(
-                    &current,
-                    &sim,
-                    &cfg.candidates,
-                    last_remap.as_deref(),
-                    self.pool,
-                );
-                (cands, cand_store.last_gen_counters())
-            } else {
-                lac::generate_candidates_counted(&current, &sim, &cfg.candidates)
-            };
-            let candgen_ms = ms(t_candgen.elapsed());
-            if cands.is_empty() {
-                break;
-            }
-            let mut estimator = BatchEstimator::with_cache(
-                &current,
-                &sim,
-                &eval,
-                &mut mask_cache,
-                last_remap.as_deref(),
-            )
-            .use_pool(self.pool);
-            // Pruned scoring only ever needs candidates that can enter
-            // the round's top set: `r_top` never exceeds
-            // `max(r_ref, r_min)` (ties at the minimum are always scored
-            // exactly), and the single-mode ladder looks at the first
-            // 64 — so `max(r_ref, 64)` exact scores cover every consumer.
-            let k_topk = r_ref.max(64);
-            let (mut scored, topk_stats) = if cfg.pruned_scoring {
-                let (s, stats) = if cfg.incremental_candgen {
-                    estimator.score_topk_cached(&cands, &cand_store.devs(), k_topk)
-                } else {
-                    estimator.score_topk(&cands, k_topk)
-                };
-                (s, Some(stats))
-            } else {
-                let s = if cfg.incremental_candgen {
-                    estimator.score_all_cached(&cands, &cand_store.devs())
-                } else {
-                    estimator.score_all(&cands)
-                };
-                (s, None)
-            };
-            let phases = estimator.phases();
-            // A LAC must reduce hardware cost; changes that cost more
-            // nodes than their MFFC frees are not LACs at all. The top-k
-            // path already filtered them before scoring.
-            let (n_cands_eff, scored_exact, scored_pruned) = match topk_stats {
-                Some(st) => (st.n_candidates, st.n_exact, st.n_pruned),
-                None => {
-                    scored.retain(|s| s.gain > 0);
-                    (scored.len(), scored.len(), 0)
-                }
-            };
-            if scored.is_empty() {
-                break;
-            }
-
-            let single_mode = e > cfg.l_e * cfg.error_bound;
-            let (next, mut t, remap) = if single_mode {
-                self.single_round(
-                    &current,
-                    &golden_sigs,
-                    pats,
-                    &sim,
-                    &eval,
-                    scored,
-                    n_cands_eff,
-                    e,
-                )
-                .expect("scored list is non-empty")
-            } else {
-                let (n1, t1, r1) = self
-                    .multi_round(
-                        &current,
-                        &golden_sigs,
-                        pats,
-                        &sim,
-                        &eval,
-                        scored.clone(),
-                        n_cands_eff,
-                        e,
-                        r_ref,
-                        r_sel,
-                        &mut rng,
-                    )
-                    .expect("round produced a result");
-                let progress = t1.applied > 0
-                    && n1.n_ands() <= current.n_ands()
-                    && (n1.n_ands() < current.n_ands() || t1.e_after != e);
-                if progress {
-                    (n1, t1, r1)
-                } else {
-                    // The multi-LAC set churned without moving the
-                    // circuit. Retry with single selection from the SAME
-                    // scored list: the expensive simulate + estimate work
-                    // is already paid for, so this stays one round rather
-                    // than burning a fresh estimation pass on the retry.
-                    self.single_round(
-                        &current,
-                        &golden_sigs,
-                        pats,
-                        &sim,
-                        &eval,
-                        scored,
-                        n_cands_eff,
-                        e,
-                    )
-                    .expect("scored list is non-empty")
-                }
-            };
-            t.round = round;
-            t.candgen_ms = candgen_ms;
-            t.mask_ms = phases.mask_ms;
-            t.score_ms = phases.score_ms;
-            t.scored_exact = scored_exact;
-            t.scored_pruned = scored_pruned;
-            t.candgen_probe_draws = gen_ctrs.probe_draws;
-            t.candgen_strip_cmps = gen_ctrs.strip_cmps;
-            t.candgen_pool_hits = gen_ctrs.pool_hits;
-            t.candgen_pool_misses = gen_ctrs.pool_misses;
-            let e_after = t.e_after;
-            let applied = t.applied;
-            let shrunk = next.n_ands() < current.n_ands();
-            rounds.push(t);
-
-            if e_after > cfg.error_bound {
-                // The new circuit violates the bound: Algorithm 1 stops
-                // and returns the previous circuit.
-                break;
-            }
-            // The flow exists to reduce area: error-only movement is
-            // tolerated briefly (positive sets can lower the error), but
-            // a long stretch without any shrink means the candidate pool
-            // is just churning masked nodes.
-            if shrunk {
-                rounds_since_shrink = 0;
-            } else {
-                rounds_since_shrink += 1;
-                if rounds_since_shrink >= 30 {
-                    break;
-                }
-            }
-            if !(applied > 0 && next.n_ands() <= current.n_ands() && (shrunk || e_after != e)) {
-                // Neither the multi set nor the single-LAC retry moved
-                // the circuit forward. Accepting an area-increasing edit
-                // is never progress — gain estimates can be off by a
-                // node after strashing, and taking such an edit lets the
-                // flow oscillate between two circuits forever (grow with
-                // lower error, re-shrink, repeat). The flow has
-                // converged.
-                break;
-            }
-            current = next;
-            e = e_after;
-            last_remap = Some(remap);
-        }
-
-        SynthesisResult {
-            aig: current,
-            error: e,
-            rounds,
-            runtime: start.elapsed(),
-            initial_ands,
-            n_patterns: pats.n_patterns(),
-        }
-    }
-
-    /// Applies `lacs` to a copy of `base`, sweeps, and measures the
-    /// error against the golden signatures. The returned remap sends
-    /// node ids of `base` (plus nodes appended by the edit) to literals
-    /// of the result, as produced by [`Aig::cleanup`]; the mask cache
-    /// consumes it to keep clean fanout cones across rounds.
-    fn apply_and_measure(
-        &self,
-        base: &Aig,
-        lacs: &[ScoredLac],
-        golden_sigs: &[Vec<u64>],
-        pats: &Patterns,
-    ) -> (Aig, f64, ApplyReport, Vec<Option<Lit>>) {
-        let mut copy = base.clone();
-        let plain: Vec<Lac> = lacs.iter().map(|s| s.lac).collect();
-        let report = apply_all(&mut copy, &plain);
-        let remap = copy.cleanup().expect("editing keeps the graph acyclic");
-        let sim = simulate(&copy, pats);
-        let e = error(
-            self.cfg.metric,
-            golden_sigs,
-            &sim.output_sigs(&copy),
-            pats.n_patterns(),
-        );
-        (copy, e, report, remap)
-    }
-
-    /// Commits `lacs` — clone, apply, cleanup — *without* the full
-    /// re-simulate and re-score: the caller passes the trial-measured
-    /// error, which the [`TrialEval`] contract guarantees is
-    /// bit-identical to a fresh measurement of the committed circuit.
-    /// Debug builds re-measure and verify that contract on every commit.
-    fn commit_measured(
-        &self,
-        base: &Aig,
-        lacs: &[ScoredLac],
-        e_trial: f64,
-        golden_sigs: &[Vec<u64>],
-        pats: &Patterns,
-    ) -> (Aig, ApplyReport, Vec<Option<Lit>>) {
-        let mut copy = base.clone();
-        let plain: Vec<Lac> = lacs.iter().map(|s| s.lac).collect();
-        let report = apply_all(&mut copy, &plain);
-        let remap = copy.cleanup().expect("editing keeps the graph acyclic");
-        #[cfg(debug_assertions)]
-        {
-            let sim = simulate(&copy, pats);
-            let e_real = error(
-                self.cfg.metric,
-                golden_sigs,
-                &sim.output_sigs(&copy),
-                pats.n_patterns(),
-            );
-            assert_eq!(
-                e_real.to_bits(),
-                e_trial.to_bits(),
-                "trial measurement diverged from the committed circuit"
-            );
-        }
-        #[cfg(not(debug_assertions))]
-        let _ = (e_trial, golden_sigs, pats);
-        (copy, report, remap)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn single_round(
-        &self,
-        current: &Aig,
-        golden_sigs: &[Vec<u64>],
-        pats: &Patterns,
-        sim: &Sim,
-        eval: &ErrorEval,
-        scored: Vec<ScoredLac>,
-        n_candidates: usize,
-        e: f64,
-    ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
-        let t_select = Instant::now();
-        let mut top = scored;
-        top.sort_by(|a, b| {
-            a.delta_e
-                .partial_cmp(&b.delta_e)
-                .expect("ΔE is never NaN")
-                .then(b.gain.cmp(&a.gain))
-                .then(a.lac.tn.cmp(&b.lac.tn))
-        });
-        top.truncate(64);
-        let select_ms = ms(t_select.elapsed());
-        let trial_ms;
-        let mut commit_ms = 0.0;
-        // Try candidates in order until one makes progress (area shrinks,
-        // or the error moves at equal area — never area growth, which
-        // would let the flow cycle). A candidate that overshoots the
-        // bound is terminal: Algorithm 1 stops there.
-        let picked = if self.cfg.incremental_trials {
-            let t_trial = Instant::now();
-            let picked = self.pick_single_trial(current, sim, eval, &top, e);
-            trial_ms = ms(t_trial.elapsed());
-            let (i, m) = picked?;
-            let best = top.swap_remove(i);
-            let t_commit = Instant::now();
-            let (next, report, remap) = self.commit_measured(
-                current,
-                std::slice::from_ref(&best),
-                m.e_after,
-                golden_sigs,
-                pats,
-            );
-            commit_ms = ms(t_commit.elapsed());
-            Some((best, next, m.e_after, report, remap))
-        } else {
-            let t_trial = Instant::now();
-            let mut last: Option<PickedEdit> = None;
-            for best in top {
-                let (next, e_after, report, remap) =
-                    self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
-                let progress = next.n_ands() <= current.n_ands()
-                    && (next.n_ands() < current.n_ands() || e_after != e);
-                let terminal = e_after > self.cfg.error_bound;
-                let done = progress || terminal;
-                last = Some((best, next, e_after, report, remap));
-                if done {
-                    break;
-                }
-            }
-            trial_ms = ms(t_trial.elapsed());
-            last
-        };
-        let (best, next, e_after, report, remap) = picked?;
-        let n_ands_after = next.n_ands();
-        Some((
-            next,
-            RoundTrace {
-                round: 0,
-                single_mode: true,
-                n_candidates,
-                r_top: 1,
-                n_sol: 1,
-                n_indp: 1,
-                n_rand: 0,
-                chose_indp: false,
-                applied: report.applied,
-                dropped_cycle: report.dropped_cycle,
-                reverted: false,
-                e_before: e,
-                e_after,
-                e_est: e + best.delta_e,
-                n_ands_after,
-                scored_exact: 0,
-                scored_pruned: 0,
-                candgen_ms: 0.0,
-                mask_ms: 0.0,
-                score_ms: 0.0,
-                select_ms,
-                trial_ms,
-                commit_ms,
-                candgen_probe_draws: 0,
-                candgen_strip_cmps: 0,
-                candgen_pool_hits: 0,
-                candgen_pool_misses: 0,
-            },
-            remap,
-        ))
-    }
-
-    /// The single-mode trial ladder over the incremental engine: finds
-    /// the index (and trial measurement) of the first candidate in `top`
-    /// that makes progress or overshoots the bound — the candidate the
-    /// sequential apply-and-measure ladder would stop at — without
-    /// committing any of them. Falls back to the last index when none is
-    /// decisive.
-    ///
-    /// With more than one pool thread, candidates are measured
-    /// speculatively in parallel waves; every measurement is
-    /// bit-identical to its sequential counterpart and the wave results
-    /// are scanned in candidate order, so the pick is deterministic at
-    /// any thread count.
-    fn pick_single_trial(
-        &self,
-        current: &Aig,
-        sim: &Sim,
-        eval: &ErrorEval,
-        top: &[ScoredLac],
-        e: f64,
-    ) -> Option<(usize, TrialMeasure)> {
-        if top.is_empty() {
-            return None;
-        }
-        let topo = ConeTopology::build(current);
-        let n_ands = current.n_ands();
-        let done = |m: &TrialMeasure| {
-            let na = m.n_ands_after.expect("single trials measure area");
-            let progress = na <= n_ands && (na < n_ands || m.e_after != e);
-            progress || m.e_after > self.cfg.error_bound
-        };
-        let threads = self.pool.threads();
-        if threads <= 1 {
-            let mut te = TrialEval::new(current, sim, eval, topo);
-            let mut last = None;
-            for (i, s) in top.iter().enumerate() {
-                let m = te.measure(std::slice::from_ref(s), true);
-                let decisive = done(&m);
-                last = Some((i, m));
-                if decisive {
-                    break;
-                }
-            }
-            return last;
-        }
-        // Ladders are shallow in practice (the first candidate is usually
-        // decisive), so ramp the speculative wave geometrically: the first
-        // wave costs the same as the sequential ladder, and full-width
-        // speculation only engages on the rare deep ladder where the
-        // parallel race actually pays.
-        let wave_cap = (threads * 2).clamp(2, 16);
-        let mut wave = 1;
-        let mut start = 0;
-        let mut last = None;
-        while start < top.len() {
-            let slice = &top[start..(start + wave).min(top.len())];
-            let chunk = slice.len().div_ceil(threads).max(1);
-            let measures = self.pool.par_chunk_results(slice.len(), chunk, |_, r| {
-                let mut te = TrialEval::new(current, sim, eval, topo.clone());
-                r.map(|i| te.measure(std::slice::from_ref(&slice[i]), true))
-                    .collect::<Vec<_>>()
-            });
-            for (i, m) in measures.iter().flatten().enumerate() {
-                if done(m) {
-                    return Some((start + i, *m));
-                }
-                last = Some((start + i, *m));
-            }
-            start += slice.len();
-            wave = (wave * 2).min(wave_cap);
-        }
-        last
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn multi_round(
-        &self,
-        current: &Aig,
-        golden_sigs: &[Vec<u64>],
-        pats: &Patterns,
-        sim: &Sim,
-        eval: &ErrorEval,
-        scored: Vec<ScoredLac>,
-        n_candidates: usize,
-        e: f64,
-        r_ref: usize,
-        r_sel: usize,
-        rng: &mut StdRng,
-    ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
-        let cfg = &self.cfg;
-        let t_select = Instant::now();
-        // Eq. (2) clamps against the full retained population, which a
-        // pruned `scored` subset no longer reflects — pass it through.
-        let l_top = obtain_top_set_from(scored, e, cfg.error_bound, r_ref, n_candidates);
-        let l_sol = find_solve_conflicts(&l_top);
-        let l_indp = select_indep_lacs(
-            current,
-            &l_sol,
-            e,
-            cfg.error_bound,
-            r_sel,
-            cfg.t_b,
-            cfg.lambda,
-            cfg.mis,
-        );
-        // SelectRandomLACs: an equally sized uniform sample from L_sol.
-        let l_rand: Vec<ScoredLac> = if cfg.race_random {
-            l_sol.choose_multiple(rng, l_indp.len()).cloned().collect()
-        } else {
-            Vec::new()
-        };
-        let select_ms = ms(t_select.elapsed());
-
-        if cfg.incremental_trials {
-            return self.multi_round_incremental(
-                current,
-                golden_sigs,
-                pats,
-                sim,
-                eval,
-                e,
-                n_candidates,
-                &l_top,
-                l_sol.len(),
-                &l_indp,
-                &l_rand,
-                select_ms,
-            );
-        }
-
-        let t_trial = Instant::now();
-        let (g1, e1, rep1, rm1) = self.apply_and_measure(current, &l_indp, golden_sigs, pats);
-        let (mut next, mut e_after, mut report, mut remap, mut chose_indp, mut chosen) =
-            (g1, e1, rep1, rm1, true, &l_indp);
-        if cfg.race_random {
-            let (g2, e2, rep2, rm2) = self.apply_and_measure(current, &l_rand, golden_sigs, pats);
-            chose_indp = e_after < e2 || (e_after == e2 && l_indp.len() >= l_rand.len());
-            if !chose_indp {
-                next = g2;
-                e_after = e2;
-                report = rep2;
-                remap = rm2;
-                chosen = &l_rand;
-            }
-        }
-        let mut e_est = e + chosen.iter().map(|s| s.delta_e).sum::<f64>();
-
-        // Improvement technique 2: detect a negative LAC set and revert
-        // to applying only the single best LAC.
-        let mut reverted = false;
-        if e_after > 0.0 {
-            let beta = (e_after - e_est) / e_after;
-            if beta > cfg.l_d {
-                let best = l_top[0].clone();
-                let (g, eb, rep, rm) =
-                    self.apply_and_measure(current, std::slice::from_ref(&best), golden_sigs, pats);
-                next = g;
-                e_after = eb;
-                report = rep;
-                remap = rm;
-                e_est = e + best.delta_e;
-                reverted = true;
-            }
-        }
-        let trial_ms = ms(t_trial.elapsed());
-
-        let n_ands_after = next.n_ands();
-        Some((
-            next,
-            RoundTrace {
-                round: 0,
-                single_mode: false,
-                n_candidates,
-                r_top: l_top.len(),
-                n_sol: l_sol.len(),
-                n_indp: l_indp.len(),
-                n_rand: l_rand.len(),
-                chose_indp,
-                applied: report.applied,
-                dropped_cycle: report.dropped_cycle,
-                reverted,
-                e_before: e,
-                e_after,
-                e_est,
-                n_ands_after,
-                scored_exact: 0,
-                scored_pruned: 0,
-                candgen_ms: 0.0,
-                mask_ms: 0.0,
-                score_ms: 0.0,
-                select_ms,
-                trial_ms,
-                commit_ms: 0.0,
-                candgen_probe_draws: 0,
-                candgen_strip_cmps: 0,
-                candgen_pool_hits: 0,
-                candgen_pool_misses: 0,
-            },
-            remap,
-        ))
-    }
-
-    /// The multi-mode race over the incremental engine: trial-measures
-    /// the independent and the random set (concurrently when the pool
-    /// has threads to spare), picks the winner by the same rule as the
-    /// committed race, runs the `l_d` negative-set check on trial
-    /// measurements, and only then commits the chosen set through the
-    /// one real apply-and-measure of the round — producing the remap the
-    /// mask cache rolls forward, exactly as the non-incremental path.
-    #[allow(clippy::too_many_arguments)]
-    fn multi_round_incremental(
-        &self,
-        current: &Aig,
-        golden_sigs: &[Vec<u64>],
-        pats: &Patterns,
-        sim: &Sim,
-        eval: &ErrorEval,
-        e: f64,
-        n_candidates: usize,
-        l_top: &[ScoredLac],
-        n_sol: usize,
-        l_indp: &[ScoredLac],
-        l_rand: &[ScoredLac],
-        select_ms: f64,
-    ) -> Option<(Aig, RoundTrace, Vec<Option<Lit>>)> {
-        let cfg = &self.cfg;
-        let t_trial = Instant::now();
-        let topo = ConeTopology::build(current);
-        let (e1, e2) = if cfg.race_random && self.pool.threads() > 1 {
-            let sets = [l_indp, l_rand];
-            let es = self.pool.par_map_collect(&sets, |_, set| {
-                let mut te = TrialEval::new(current, sim, eval, topo.clone());
-                te.measure(set, false).e_after
-            });
-            (es[0], es[1])
-        } else {
-            let mut te = TrialEval::new(current, sim, eval, topo.clone());
-            let e1 = te.measure(l_indp, false).e_after;
-            let e2 = if cfg.race_random {
-                te.measure(l_rand, false).e_after
-            } else {
-                f64::INFINITY
-            };
-            (e1, e2)
-        };
-
-        let chose_indp = !cfg.race_random || e1 < e2 || (e1 == e2 && l_indp.len() >= l_rand.len());
-        let (mut e_after, mut chosen) = if chose_indp {
-            (e1, l_indp)
-        } else {
-            (e2, l_rand)
-        };
-        let mut e_est = e + chosen.iter().map(|s| s.delta_e).sum::<f64>();
-
-        // Improvement technique 2: detect a negative LAC set and revert
-        // to applying only the single best LAC.
-        let mut reverted = false;
-        let best_holder;
-        if e_after > 0.0 {
-            let beta = (e_after - e_est) / e_after;
-            if beta > cfg.l_d {
-                best_holder = l_top[0].clone();
-                let mut te = TrialEval::new(current, sim, eval, topo);
-                e_after = te
-                    .measure(std::slice::from_ref(&best_holder), false)
-                    .e_after;
-                e_est = e + best_holder.delta_e;
-                reverted = true;
-                chosen = std::slice::from_ref(&best_holder);
-            }
-        }
-        let trial_ms = ms(t_trial.elapsed());
-
-        // Commit the round's one real apply + cleanup; the trial error
-        // stands in for the full re-measure (bit-identical by contract).
-        let t_commit = Instant::now();
-        let (next, report, remap) =
-            self.commit_measured(current, chosen, e_after, golden_sigs, pats);
-        let commit_ms = ms(t_commit.elapsed());
-        let n_ands_after = next.n_ands();
-        Some((
-            next,
-            RoundTrace {
-                round: 0,
-                single_mode: false,
-                n_candidates,
-                r_top: l_top.len(),
-                n_sol,
-                n_indp: l_indp.len(),
-                n_rand: l_rand.len(),
-                chose_indp,
-                applied: report.applied,
-                dropped_cycle: report.dropped_cycle,
-                reverted,
-                e_before: e,
-                e_after,
-                e_est,
-                n_ands_after,
-                scored_exact: 0,
-                scored_pruned: 0,
-                candgen_ms: 0.0,
-                mask_ms: 0.0,
-                score_ms: 0.0,
-                select_ms,
-                trial_ms,
-                commit_ms,
-                candgen_probe_draws: 0,
-                candgen_strip_cmps: 0,
-                candgen_pool_hits: 0,
-                candgen_pool_misses: 0,
-            },
-            remap,
-        ))
+        let (mut flow, mut caches) =
+            FlowInstance::new(self.cfg.clone(), self.pool, golden, Arc::new(pats.clone()));
+        while flow.step(&mut caches) {}
+        flow.into_result()
     }
 }
+
 
 #[cfg(test)]
 mod tests {

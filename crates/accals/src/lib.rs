@@ -39,10 +39,12 @@ pub mod conflict;
 pub mod indep;
 pub mod topset;
 
+mod engine;
 mod flow;
 mod trace;
 mod trial;
 
+pub use engine::{step_cohort, step_cohort_faulted, CohortSplit, FlowCaches, FlowInstance};
 pub use flow::{Accals, SynthesisResult};
 pub use trace::RoundTrace;
 pub use trial::{TrialEval, TrialMeasure};
@@ -178,6 +180,39 @@ impl AccalsConfig {
             pruned_scoring: true,
         }
     }
+
+    /// Whether two configurations differ only in their error bound.
+    ///
+    /// Flow instances in the same family traverse identical circuit
+    /// prefixes until the bound-dependent selection diverges, so the
+    /// sweep engine may share simulation and cache state between them.
+    pub fn family_eq(&self, other: &AccalsConfig) -> bool {
+        self.metric == other.metric
+            && self.t_b.to_bits() == other.t_b.to_bits()
+            && self.lambda.to_bits() == other.lambda.to_bits()
+            && self.l_e.to_bits() == other.l_e.to_bits()
+            && self.l_d.to_bits() == other.l_d.to_bits()
+            && self.r_ref == other.r_ref
+            && self.r_sel == other.r_sel
+            && self.candidates == other.candidates
+            && self.mis == other.mis
+            && self.max_exhaustive == other.max_exhaustive
+            && self.n_random_patterns == other.n_random_patterns
+            && self.seed == other.seed
+            && self.max_rounds == other.max_rounds
+            && self.race_random == other.race_random
+            && self.incremental_trials == other.incremental_trials
+            && self.incremental_candgen == other.incremental_candgen
+            && self.pruned_scoring == other.pruned_scoring
+    }
+}
+
+/// Validates the invariants every flow entry point relies on.
+pub(crate) fn validate_config(cfg: &AccalsConfig) {
+    assert!(cfg.error_bound > 0.0, "error bound must be positive");
+    assert!((0.0..=1.0).contains(&cfg.l_e), "l_e must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&cfg.l_d), "l_d must be in [0, 1]");
+    assert!(cfg.lambda > 0.0, "lambda must be positive");
 }
 
 #[cfg(test)]

@@ -1,0 +1,329 @@
+//! Design-space-exploration benchmark: a full metric × bound grid run
+//! as one batched [`sweep`] job — shared initial simulation, cohort
+//! execution with cache forking, work-stealing scheduling — versus the
+//! serial baseline of running every grid point standalone on one
+//! thread.
+//!
+//! Both paths commit the identical circuit through the identical round
+//! sequence at every grid point — the run asserts trajectory identity
+//! against the standalone references before timing a single batched
+//! configuration — so the numbers compare two executions of the same
+//! set of flows, not two algorithms. Std-only timing
+//! (`std::time::Instant`, median of repeats); results go to
+//! `BENCH_sweep.json` in the working directory.
+//!
+//! Usage: `bench_sweep [circuit ...]` (default: rca32 cla32 ksa32
+//! alu4), or
+//! `bench_sweep --smoke` for a fast single-circuit sanity run that
+//! writes no file (used by `scripts/check_offline.sh`). Each circuit's
+//! 9-point grid (3 metrics × 3 bounds) is timed serially and then
+//! batched once per worker count in [`THREAD_COUNTS`].
+
+use accals::{Accals, AccalsConfig, SizeParam, SynthesisResult};
+use aig::Aig;
+use errmetrics::MetricKind;
+use parkit::ThreadPool;
+use std::fmt::Write as _;
+use std::time::Instant;
+use sweep::{trajectory_hash, SweepJob, SweepOptions, SweepResult};
+
+const REPEATS: usize = 3;
+
+/// Worker counts benchmarked per circuit. Determinism is part of the
+/// sweep contract: per-instance trajectories must not depend on the
+/// worker count or steal schedule, so every width's results are checked
+/// against the standalone references.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The benchmarked grid: three metrics, three bounds each. The ladders
+/// are tuned so the suite circuits sustain multi-round flows whose
+/// cohorts split mid-flight — the regime the shared-cache machinery is
+/// built for.
+const METRIC_GRIDS: [(MetricKind, [f64; 3]); 3] = [
+    (MetricKind::Er, [0.02, 0.05, 0.10]),
+    (MetricKind::Nmed, [0.005, 0.01, 0.02]),
+    (MetricKind::Mred, [0.01, 0.02, 0.05]),
+];
+
+fn sweep_cfg(metric: MetricKind, bound: f64) -> AccalsConfig {
+    let mut cfg = AccalsConfig::new(metric, bound);
+    cfg.r_ref = SizeParam::Fixed(40);
+    cfg.r_sel = SizeParam::Fixed(8);
+    cfg.max_exhaustive = 1 << 10;
+    cfg.n_random_patterns = 1 << 10;
+    cfg
+}
+
+fn build_job(golden: &Aig) -> SweepJob {
+    let mut job = SweepJob::new();
+    let c = job.add_circuit(golden.clone());
+    for (metric, bounds) in METRIC_GRIDS {
+        job.add_grid(c, &sweep_cfg(metric, bounds[0]), &bounds);
+    }
+    job
+}
+
+/// Median wall time of `f` over `repeats` runs, in milliseconds.
+fn time_median<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times: Vec<f64> = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        last = Some(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], last.unwrap())
+}
+
+/// One grid point's standalone reference: everything the determinism
+/// contract pins, in `SweepJob` submission order.
+struct RefPoint {
+    metric: MetricKind,
+    bound: f64,
+    hash: u64,
+    error_bits: u64,
+    ands: usize,
+    rounds: usize,
+}
+
+fn reference_points(results: &[SynthesisResult]) -> Vec<RefPoint> {
+    let mut refs = Vec::new();
+    let mut it = results.iter();
+    for (metric, bounds) in METRIC_GRIDS {
+        for &bound in &bounds {
+            let r = it.next().expect("one standalone result per grid point");
+            refs.push(RefPoint {
+                metric,
+                bound,
+                hash: trajectory_hash(&r.rounds),
+                error_bits: r.error.to_bits(),
+                ands: r.aig.n_ands(),
+                rounds: r.rounds.len(),
+            });
+        }
+    }
+    refs
+}
+
+/// A benchmark over diverging runs would be meaningless: every batched
+/// instance must reproduce its standalone trajectory bit for bit.
+fn check_identity(name: &str, refs: &[RefPoint], batched: &SweepResult) {
+    assert_eq!(
+        batched.instances.len(),
+        refs.len(),
+        "{name}: instance count diverged"
+    );
+    for (b, r) in batched.instances.iter().zip(refs) {
+        let what = format!("{name} {} bound={}", r.metric, r.bound);
+        assert_eq!(b.metric, r.metric, "{what}: instance order changed");
+        assert_eq!(b.error_bound, r.bound, "{what}: instance order changed");
+        assert_eq!(
+            b.trajectory_hash, r.hash,
+            "{what}: trajectory diverged from standalone"
+        );
+        assert_eq!(
+            b.result.rounds.len(),
+            r.rounds,
+            "{what}: round count diverged"
+        );
+        assert_eq!(
+            b.result.error.to_bits(),
+            r.error_bits,
+            "{what}: final error diverged"
+        );
+        assert_eq!(b.result.aig.n_ands(), r.ands, "{what}: final area diverged");
+    }
+}
+
+/// Runs every grid point standalone, sequentially, on a one-thread
+/// pool: the serial baseline a user without the sweep engine pays.
+fn run_serial(golden: &Aig, pool: &'static ThreadPool) -> Vec<SynthesisResult> {
+    let mut out = Vec::new();
+    for (metric, bounds) in METRIC_GRIDS {
+        for &bound in &bounds {
+            out.push(
+                Accals::new(sweep_cfg(metric, bound))
+                    .with_pool(pool)
+                    .synthesize(golden),
+            );
+        }
+    }
+    out
+}
+
+struct BatchedRow {
+    threads: usize,
+    ms: f64,
+    speedup: f64,
+    shared_rounds: usize,
+}
+
+struct SweepReport {
+    name: String,
+    initial_ands: usize,
+    serial_ms: f64,
+    rows: Vec<BatchedRow>,
+    refs: Vec<RefPoint>,
+    front_sizes: Vec<(MetricKind, usize)>,
+}
+
+impl SweepReport {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", self.name);
+        let _ = writeln!(s, "      \"initial_ands\": {},", self.initial_ands);
+        let _ = writeln!(s, "      \"grid_points\": {},", self.refs.len());
+        let _ = writeln!(s, "      \"serial_1thread_ms\": {:.1},", self.serial_ms);
+        let _ = writeln!(s, "      \"batched\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "        {{ \"threads\": {}, \"ms\": {:.1}, \"speedup\": {:.2}, \"shared_rounds\": {} }}{}",
+                r.threads,
+                r.ms,
+                r.speedup,
+                r.shared_rounds,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "      ],");
+        let _ = writeln!(s, "      \"grid\": [");
+        for (i, p) in self.refs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "        {{ \"metric\": \"{}\", \"bound\": {}, \"rounds\": {}, \"final_ands\": {} }}{}",
+                p.metric,
+                p.bound,
+                p.rounds,
+                p.ands,
+                if i + 1 < self.refs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "      ],");
+        let _ = writeln!(s, "      \"front_sizes\": {{");
+        for (i, (m, n)) in self.front_sizes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "        \"{m}\": {n}{}",
+                if i + 1 < self.front_sizes.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "      }}");
+        let _ = write!(s, "    }}");
+        s
+    }
+}
+
+fn print_report(r: &SweepReport) {
+    println!(
+        "{:>6}  {} grid points, {} ands, serial 1-thread {:.0} ms",
+        r.name,
+        r.refs.len(),
+        r.initial_ands,
+        r.serial_ms
+    );
+    for row in &r.rows {
+        println!(
+            "        batched threads={}  {:>8.0} ms  speedup {:>5.2}x  ({} shared rounds)",
+            row.threads, row.ms, row.speedup, row.shared_rounds
+        );
+    }
+}
+
+fn bench_circuit(name: &str, golden: &Aig, repeats: usize) -> SweepReport {
+    let serial_pool: &'static ThreadPool = Box::leak(Box::new(ThreadPool::new(1)));
+
+    // The serial baseline doubles as the identity reference: trajectory
+    // hashes are taken from its results before any batched run is timed.
+    let (serial_ms, serial_results) = time_median(repeats, || run_serial(golden, serial_pool));
+    let refs = reference_points(&serial_results);
+
+    let job = build_job(golden);
+    let mut rows = Vec::new();
+    let mut front_sizes = Vec::new();
+    for threads in THREAD_COUNTS {
+        let opts = SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        };
+        // Identity is asserted on an untimed run first; the timed
+        // repeats are checked again afterwards.
+        check_identity(
+            &format!("{name} threads={threads}"),
+            &refs,
+            &sweep::run(&job, &opts),
+        );
+        let (ms, last) = time_median(repeats, || sweep::run(&job, &opts));
+        check_identity(&format!("{name} threads={threads} (timed)"), &refs, &last);
+        let shared_rounds = last.instances.iter().map(|i| i.shared_rounds).sum();
+        if threads == *THREAD_COUNTS.last().unwrap() {
+            front_sizes = last
+                .fronts
+                .iter()
+                .map(|f| (f.metric, f.front.len()))
+                .collect();
+        }
+        rows.push(BatchedRow {
+            threads,
+            ms,
+            speedup: serial_ms / ms,
+            shared_rounds,
+        });
+    }
+
+    SweepReport {
+        name: name.to_string(),
+        initial_ands: golden.n_ands(),
+        serial_ms,
+        rows,
+        refs,
+        front_sizes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let golden = benchgen::multipliers::array_multiplier(4);
+        let r = bench_circuit("mtp4", &golden, 1);
+        print_report(&r);
+        println!("smoke ok (identical across threads {THREAD_COUNTS:?})");
+        return;
+    }
+
+    let circuits: Vec<String> = if args.is_empty() {
+        // Three adders whose nested-bound trajectories share long
+        // prefixes (the engine's best case) plus alu4, whose grids
+        // diverge early — an honest weak-sharing data point.
+        ["rca32", "cla32", "ksa32", "alu4"]
+            .iter()
+            .map(|n| n.to_string())
+            .collect()
+    } else {
+        args
+    };
+
+    println!(
+        "bench_sweep: {}-point grid per circuit, {REPEATS} repeats, serial vs batched threads {THREAD_COUNTS:?} ({} cores visible)",
+        METRIC_GRIDS.len() * 3,
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    let mut reports = Vec::new();
+    for name in &circuits {
+        let golden = benchgen::suite::by_name(name).expect("known suite circuit");
+        let r = bench_circuit(name, &golden, REPEATS);
+        print_report(&r);
+        reports.push(r);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"sweep\",\n  \"circuits\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&r.to_json());
+        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
+}

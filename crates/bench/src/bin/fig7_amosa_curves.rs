@@ -2,13 +2,14 @@
 //! AccALS and the AMOSA-style baseline on the LGSynt91-like circuits,
 //! mapped with the NanGate-45nm-like library.
 //!
-//! AccALS's curve is produced by running it at a ladder of ER bounds;
-//! AMOSA's curve is its archived Pareto front.
+//! AccALS's curve is produced by running it at a ladder of ER bounds,
+//! batched through the [`sweep`] engine; AMOSA's curve is its archived
+//! Pareto front.
 //!
 //! Run: `cargo run -p accals-bench --release --bin fig7_amosa_curves
 //!       [--circuits alu2,term1] [--iters 2000]`
 
-use accals_bench::exp::{arg, filtered, mapped_cost, run_accals};
+use accals_bench::exp::{arg, filtered, mapped_cost, run_accals_sweep};
 use accals_bench::report::Table;
 use baselines::{Amosa, AmosaConfig};
 use benchgen::suite;
@@ -28,9 +29,10 @@ fn main() {
         let g = suite::by_name(&name).expect("known circuit");
         let (base_area, _) = mapped_cost(&g, &lib);
 
-        // AccALS curve.
-        for &er in &ER_LADDER {
-            let out = run_accals(&g, MetricKind::Er, er, 0xACC_A15, &lib);
+        // AccALS curve: the whole ER ladder as one batched sweep job
+        // (shared simulation, cohort execution with cache forking) —
+        // per-bound results are bit-identical to standalone runs.
+        for out in run_accals_sweep(&g, MetricKind::Er, &ER_LADDER, 0xACC_A15, &lib) {
             table.row(vec![
                 name.clone(),
                 "AccALS".to_string(),

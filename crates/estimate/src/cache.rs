@@ -173,6 +173,26 @@ impl MaskCache {
         &self.pool
     }
 
+    /// Forks the cache at its current revision: the fork carries the
+    /// same entries and snapshot, so rolling it forward along a
+    /// *different* branch of edits yields exactly what a cache that had
+    /// followed that branch alone would hold. The scratch [`DevPool`]
+    /// is not shared — buffer contents never influence results, so the
+    /// fork starts with an empty pool.
+    pub fn fork(&self) -> MaskCache {
+        MaskCache {
+            stride: self.stride,
+            n_patterns: self.n_patterns,
+            generation: self.generation,
+            entries: self.entries.clone(),
+            snap_nodes: self.snap_nodes.clone(),
+            snap_out_lits: self.snap_out_lits.clone(),
+            snap_sigs: self.snap_sigs.clone(),
+            stats: self.stats,
+            pool: DevPool::default(),
+        }
+    }
+
     /// Rolls the cache forward to the circuit revision `(aig, sim)`.
     ///
     /// `remap` maps node ids of the previous revision — including nodes

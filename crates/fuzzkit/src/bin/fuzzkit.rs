@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fuzzkit [--seed 0xHEX] [--iters N]
-//!         [--fault none|store-fanout|store-arena|topk-bound]
+//!         [--fault none|store-fanout|store-arena|topk-bound|sweep-stale-fork]
 //!         [--repro '<line>'] [--smoke] [--quiet]
 //! ```
 //!
@@ -59,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
                     "store-fanout" => Fault::StoreSkipFanout,
                     "store-arena" => Fault::StoreStaleArena,
                     "topk-bound" => Fault::TopkLooseBound,
+                    "sweep-stale-fork" => Fault::SweepStaleFork,
                     other => return Err(format!("unknown fault `{other}`")),
                 };
             }
@@ -71,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: fuzzkit [--seed 0xHEX] [--iters N] \
-                     [--fault none|store-fanout|store-arena|topk-bound] \
+                     [--fault none|store-fanout|store-arena|topk-bound|sweep-stale-fork] \
                      [--repro '<line>'] [--smoke] [--quiet]"
                 );
                 std::process::exit(0);

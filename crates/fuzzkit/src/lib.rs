@@ -66,6 +66,11 @@ pub enum Fault {
     /// scorer (see `BatchEstimator::inject_unsound_bound`), so pruning
     /// discards genuine top-set members.
     TopkLooseBound,
+    /// Fork sweep cohorts one round too late (see
+    /// `accals::step_cohort_faulted`): branches whose commits diverged
+    /// stay on the first branch's circuit and shared caches for one
+    /// extra round before splitting.
+    SweepStaleFork,
 }
 
 /// A self-contained fuzz case: a seed plus the knobs that shape the
@@ -112,6 +117,7 @@ impl fmt::Display for FuzzCase {
             Fault::StoreSkipFanout => "store-fanout",
             Fault::StoreStaleArena => "store-arena",
             Fault::TopkLooseBound => "topk-bound",
+            Fault::SweepStaleFork => "sweep-stale-fork",
         };
         write!(
             f,
@@ -183,6 +189,7 @@ impl FromStr for FuzzCase {
                         "store-fanout" => Fault::StoreSkipFanout,
                         "store-arena" => Fault::StoreStaleArena,
                         "topk-bound" => Fault::TopkLooseBound,
+                        "sweep-stale-fork" => Fault::SweepStaleFork,
                         _ => return Err(bad("fault")),
                     };
                 }
@@ -287,6 +294,15 @@ mod tests {
                 n_ops: 4,
                 n_patterns: 96,
                 fault: Fault::StoreStaleArena,
+            },
+            FuzzCase {
+                seed: 0xdead,
+                source: Source::Random,
+                n_pis: 4,
+                n_ands: 10,
+                n_ops: 5,
+                n_patterns: 0,
+                fault: Fault::SweepStaleFork,
             },
         ];
         for c in cases {

@@ -14,6 +14,7 @@
 //! | `estimate::MaskCache`       | fresh [`BatchEstimator::new`] ΔE bits at 1/2/8 threads |
 //! | `estimate` top-k pruning    | dense `obtain_top_set` bit-identity at 1/2/8 threads, fresh + cached masks |
 //! | `accals::TrialEval`         | clone → `apply_all` → `cleanup` → resimulate → re-measure |
+//! | `sweep` cohort sharing      | batched bound ladder vs standalone flows: bit-identical trajectories |
 //! | `errmetrics` end to end     | BDD exact error vs exhaustive simulation (≤14 inputs) |
 //!
 //! All floating-point comparisons on the incremental paths are
@@ -24,7 +25,7 @@ use std::sync::{Arc, OnceLock};
 
 use accals::conflict::find_solve_conflicts;
 use accals::topset::{obtain_top_set, obtain_top_set_from};
-use accals::TrialEval;
+use accals::{Accals, AccalsConfig, SizeParam, TrialEval};
 use aig::{Aig, Lit, NodeId};
 use bitsim::{simulate, ConeTopology, Patterns};
 use errmetrics::{ErrorEval, MetricKind};
@@ -34,6 +35,7 @@ use lac::{
 };
 use parkit::ThreadPool;
 use prng::{rngs::StdRng, Rng, SeedableRng};
+use sweep::{SweepJob, SweepOptions};
 
 use crate::{gen, Fault, FuzzCase, Source};
 
@@ -86,6 +88,8 @@ pub struct CaseStats {
     pub raw_edits: usize,
     /// BDD exact-error comparisons performed.
     pub bdd_checks: usize,
+    /// Batched-vs-standalone sweep comparisons performed.
+    pub sweeps: usize,
 }
 
 /// The thread counts every scoring comparison runs at.
@@ -470,6 +474,91 @@ impl<'c> Driver<'c> {
         }
         Ok(())
     }
+
+    /// The sweep differential oracle: run a small bound ladder over the
+    /// current circuit as one batched job (cache sharing on) and as
+    /// standalone flows, and require every instance's trajectory, final
+    /// error, and final area to be bit-identical. This is the sweep
+    /// engine's determinism contract, and the oracle that catches
+    /// [`Fault::SweepStaleFork`] — caches forked one round after the
+    /// cohort's trajectories already diverged.
+    fn sweep_op(&mut self) -> Result<(), Failure> {
+        if self.current.n_ands() == 0 {
+            return Ok(());
+        }
+        // Decorrelated stream for the sweep knobs, like the top-set
+        // knobs: they must not perturb the main op-sequence RNG.
+        let mut krng = StdRng::seed_from_u64(
+            crate::stream_u64(self.case.seed, 0x5e11 ^ self.op as u64),
+        );
+        // Distance metrics accumulate error gradually on tiny circuits,
+        // so a bound ladder splits the cohort mid-flight (the case the
+        // late-fork fault corrupts); ER tends to jump straight past
+        // every bound in one round and split only at termination.
+        let metric = [MetricKind::Nmed, MetricKind::Mred][krng.gen_range(0..2usize)];
+        let mut base = AccalsConfig::new(metric, 1.0);
+        base.r_ref = SizeParam::Fixed(12);
+        base.r_sel = SizeParam::Fixed(3);
+        base.max_rounds = 8;
+        base.max_exhaustive = 1 << 10;
+        base.n_random_patterns = 128;
+        base.seed = crate::stream_u64(self.case.seed, 0x5e12 ^ self.op as u64);
+        base.candidates = self.ccfg.clone();
+        let b0 = 0.004 * (1u32 << krng.gen_range(0..4u32)) as f64;
+        let bounds: Vec<f64> = (0..krng.gen_range(2..=3usize))
+            .map(|i| b0 * [1.0, 3.0, 8.0][i])
+            .collect();
+
+        let mut job = SweepJob::new();
+        let c = job.add_circuit(self.current.clone());
+        job.add_grid(c, &base, &bounds);
+        let opts = SweepOptions {
+            threads: 1,
+            share: true,
+            stale_fork: self.case.fault == Fault::SweepStaleFork,
+            ..SweepOptions::default()
+        };
+        let batched = sweep::run(&job, &opts);
+
+        for (i, &b) in bounds.iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.error_bound = b;
+            let alone = Accals::new(cfg).synthesize(&self.current);
+            let bi = &batched.instances[i];
+            if let Some(r) = sweep::divergence_round(&bi.result.rounds, &alone.rounds) {
+                return Err(self.fail(
+                    "sweep/trajectory",
+                    format!(
+                        "bound {b}: batched diverged from standalone at round {r} \
+                         (batched {} rounds, standalone {})",
+                        bi.result.rounds.len(),
+                        alone.rounds.len()
+                    ),
+                ));
+            }
+            if bi.result.error.to_bits() != alone.error.to_bits() {
+                return Err(self.fail(
+                    "sweep/error",
+                    format!(
+                        "bound {b}: batched {:.17e} vs standalone {:.17e}",
+                        bi.result.error, alone.error
+                    ),
+                ));
+            }
+            if bi.result.aig.n_ands() != alone.aig.n_ands() {
+                return Err(self.fail(
+                    "sweep/area",
+                    format!(
+                        "bound {b}: batched {} gates vs standalone {}",
+                        bi.result.aig.n_ands(),
+                        alone.aig.n_ands()
+                    ),
+                ));
+            }
+        }
+        self.stats.sweeps += 1;
+        Ok(())
+    }
 }
 
 /// A small conflict-free candidate set sampled from the scored list.
@@ -645,6 +734,7 @@ fn run_case_inner(case: &FuzzCase, op_at: &std::cell::Cell<usize>) -> Result<Cas
                 match kind {
                     0 => "cleanup",
                     1 => "raw-edit",
+                    2 => "sweep",
                     _ => "round",
                 },
                 drv.current.n_nodes(),
@@ -658,6 +748,7 @@ fn run_case_inner(case: &FuzzCase, op_at: &std::cell::Cell<usize>) -> Result<Cas
         match kind {
             0 => drv.cleanup_only()?,
             1 => drv.raw_edit()?,
+            2 => drv.sweep_op()?,
             _ => drv.round()?,
         }
     }

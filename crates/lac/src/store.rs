@@ -196,7 +196,7 @@ struct EntryMeta {
 /// candidate records, per-candidate sparse deviation payloads, and
 /// dep/fanout lists, each in one contiguous vector. `cands` and
 /// `dev_index` are index-aligned (one deviation region per candidate).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct CandArena {
     epoch: u64,
     cands: Vec<Lac>,
@@ -851,6 +851,34 @@ impl CandidateStore {
         self.stats.carried += carried;
         self.last_counters.pool_hits = carried as u64;
         Some(out)
+    }
+
+    /// Forks the store at its current revision: the fork holds the same
+    /// entries, arena, and snapshot, so rolling it forward along a
+    /// *different* branch of edits yields exactly what a store that had
+    /// followed that branch alone would hold. The spare arena is not
+    /// copied — it is reset before every use, so the fork starts with a
+    /// fresh one. Fault-injection flags are carried so a faulted sweep
+    /// stays faulted across forks.
+    pub fn fork(&self) -> CandidateStore {
+        CandidateStore {
+            stride: self.stride,
+            n_patterns: self.n_patterns,
+            generation: self.generation,
+            cfg_key: self.cfg_key.clone(),
+            entries: self.entries.clone(),
+            arena: self.arena.clone(),
+            spare: CandArena::default(),
+            snap_nodes: self.snap_nodes.clone(),
+            snap_levels: self.snap_levels.clone(),
+            snap_live: self.snap_live.clone(),
+            snap_sigs: self.snap_sigs.clone(),
+            snap_pool: self.snap_pool.clone(),
+            stats: self.stats,
+            last_counters: self.last_counters,
+            skip_fanout_invalidation: self.skip_fanout_invalidation,
+            stale_arena_carry: self.stale_arena_carry,
+        }
     }
 
     /// The generation the entry of `n` was last rebuilt in, if any

