@@ -41,8 +41,9 @@ use crate::indep::select_indep_lacs;
 use crate::topset::obtain_top_set_from;
 use crate::trace::RoundTrace;
 use crate::trial::{TrialEval, TrialMeasure};
+use crate::window::WindowState;
 use crate::{AccalsConfig, SynthesisResult};
-use aig::{Aig, Lit};
+use aig::{Aig, Lit, NodeId};
 use bitsim::{simulate, ConeTopology, Patterns, Sim};
 use errmetrics::{error, ErrorEval, MetricKind};
 use estimate::{BatchEstimator, MaskCache};
@@ -71,6 +72,9 @@ pub struct FlowCaches {
     pub(crate) store: CandidateStore,
     pub(crate) eval: ErrorEval,
     pub(crate) last_remap: Option<Vec<Option<Lit>>>,
+    /// Window-rotation state of windowed flows (which segments the
+    /// current epoch has covered); default/empty for dense flows.
+    pub(crate) window: WindowState,
 }
 
 impl FlowCaches {
@@ -82,6 +86,7 @@ impl FlowCaches {
             store: CandidateStore::new(),
             eval: ErrorEval::new(metric, golden_sigs, n_patterns),
             last_remap: None,
+            window: WindowState::default(),
         }
     }
 
@@ -97,6 +102,7 @@ impl FlowCaches {
             store: self.store.fork(),
             eval: self.eval.clone(),
             last_remap: self.last_remap.clone(),
+            window: self.window.clone(),
         }
     }
 }
@@ -114,94 +120,166 @@ pub(crate) struct RoundShared {
     candgen_ms: f64,
     mask_ms: f64,
     score_ms: f64,
+    window_targets: usize,
+}
+
+/// The identity remap over `n` nodes: rolls a cache "forward" without
+/// moving anything — used when a new round starts from an unchanged
+/// circuit revision (windowed retries).
+fn identity_remap(n: usize) -> Vec<Option<Lit>> {
+    (0..n)
+        .map(|i| Some(Lit::new(NodeId::new(i), false)))
+        .collect()
 }
 
 /// Runs the shared phases of one round — simulate, rebase the
-/// evaluator, generate candidates through the store, build masks, and
-/// score — mutating `caches` exactly as the monolithic loop did.
-/// Returns `None` when the round would break (no candidates, or
-/// nothing scored with positive gain): the flow has converged.
+/// evaluator, select the round window (when configured), generate
+/// candidates through the store, build masks, and score — mutating
+/// `caches` exactly as the monolithic loop did. Returns `None` when the
+/// round would break (no candidates, or nothing scored with positive
+/// gain, in any window of a full rotation): the flow has converged.
 pub(crate) fn prepare_round(
     cfg: &AccalsConfig,
     pool: &'static ThreadPool,
     current: &Aig,
     pats: &Patterns,
+    golden_sigs: &[Vec<u64>],
     caches: &mut FlowCaches,
     r_ref: usize,
 ) -> Option<RoundShared> {
     let sim = simulate(current, pats);
     caches.eval.rebase(&sim.output_sigs(current));
-    let t_candgen = Instant::now();
-    let (cands, gen_ctrs) = if cfg.incremental_candgen {
-        let cands = caches.store.generate(
-            current,
-            &sim,
-            &cfg.candidates,
-            caches.last_remap.as_deref(),
-            pool,
-        );
-        (cands, caches.store.last_gen_counters())
+    // The pending commit remap rolls each cache forward exactly once
+    // per circuit revision. A windowed round may try several windows
+    // against the same revision (a region can come up empty), so after
+    // a cache's first roll this revision it sits at the current ids and
+    // later attempts roll it through the identity instead.
+    let pending = caches.last_remap.take();
+    let identity: Vec<Option<Lit>> = if cfg.window.is_some() {
+        identity_remap(current.n_nodes())
     } else {
-        lac::generate_candidates_counted(current, &sim, &cfg.candidates)
+        Vec::new()
     };
-    let candgen_ms = ms(t_candgen.elapsed());
-    if cands.is_empty() {
-        return None;
-    }
-    let mut estimator = BatchEstimator::with_cache(
-        current,
-        &sim,
-        &caches.eval,
-        &mut caches.mask,
-        caches.last_remap.as_deref(),
-    )
-    .use_pool(pool);
-    // Pruned scoring only ever needs candidates that can enter the
-    // round's top set: `r_top` never exceeds `max(r_ref, r_min)` (ties
-    // at the minimum are always scored exactly), and the single-mode
-    // ladder looks at the first 64 — so `max(r_ref, 64)` exact scores
-    // cover every consumer.
-    let k_topk = r_ref.max(64);
-    let (mut scored, topk_stats) = if cfg.pruned_scoring {
-        let (s, stats) = if cfg.incremental_candgen {
-            estimator.score_topk_cached(&cands, &caches.store.devs(), k_topk)
-        } else {
-            estimator.score_topk(&cands, k_topk)
-        };
-        (s, Some(stats))
-    } else {
-        let s = if cfg.incremental_candgen {
-            estimator.score_all_cached(&cands, &caches.store.devs())
-        } else {
-            estimator.score_all(&cands)
-        };
-        (s, None)
+    let mut store_rolled = false;
+    let mut mask_rolled = false;
+    // Two full rotations bound the empty-window retries: one pass over
+    // the segments untouched this epoch, and — after the epoch resets —
+    // one over the rest. Every segment has then proven empty.
+    let n_attempts = match &cfg.window {
+        Some(spec) => 2 * crate::window::segment_count(current, spec),
+        None => 1,
     };
-    let phases = estimator.phases();
-    // A LAC must reduce hardware cost; changes that cost more nodes
-    // than their MFFC frees are not LACs at all. The top-k path already
-    // filtered them before scoring.
-    let (n_cands_eff, scored_exact, scored_pruned) = match topk_stats {
-        Some(st) => (st.n_candidates, st.n_exact, st.n_pruned),
-        None => {
-            scored.retain(|s| s.gain > 0);
-            (scored.len(), scored.len(), 0)
+    for _ in 0..n_attempts {
+        let win = cfg.window.as_ref().and_then(|spec| {
+            crate::window::select_window(
+                current,
+                &sim,
+                golden_sigs,
+                pats.n_patterns(),
+                spec,
+                &mut caches.window,
+            )
+        });
+        let win_mask = win.as_ref().map(|w| w.mask.as_slice());
+        let window_targets = win.as_ref().map_or(0, |w| w.targets);
+        let t_candgen = Instant::now();
+        let store_remap = if store_rolled {
+            Some(identity.as_slice())
+        } else {
+            pending.as_deref()
+        };
+        let (cands, gen_ctrs) = if cfg.incremental_candgen {
+            let cands = caches.store.generate(
+                current,
+                &sim,
+                &cfg.candidates,
+                store_remap,
+                pool,
+                win_mask,
+            );
+            store_rolled = true;
+            (cands, caches.store.last_gen_counters())
+        } else {
+            lac::generate_candidates_windowed_counted(current, &sim, &cfg.candidates, win_mask)
+        };
+        let candgen_ms = ms(t_candgen.elapsed());
+        if cands.is_empty() {
+            continue;
         }
-    };
-    if scored.is_empty() {
-        return None;
+        let mask_remap = if mask_rolled {
+            Some(identity.as_slice())
+        } else {
+            pending.as_deref()
+        };
+        let mut estimator =
+            BatchEstimator::with_cache(current, &sim, &caches.eval, &mut caches.mask, mask_remap)
+                .use_pool(pool);
+        mask_rolled = true;
+        // Pruned scoring only ever needs candidates that can enter the
+        // round's top set: `r_top` never exceeds `max(r_ref, r_min)` (ties
+        // at the minimum are always scored exactly), and the single-mode
+        // ladder looks at the first 64 — so `max(r_ref, 64)` exact scores
+        // cover every consumer.
+        let k_topk = r_ref.max(64);
+        let (mut scored, topk_stats) = if cfg.pruned_scoring {
+            let (s, stats) = if cfg.incremental_candgen {
+                estimator.score_topk_cached(&cands, &caches.store.devs(), k_topk)
+            } else {
+                estimator.score_topk(&cands, k_topk)
+            };
+            (s, Some(stats))
+        } else {
+            let s = if cfg.incremental_candgen {
+                estimator.score_all_cached(&cands, &caches.store.devs())
+            } else {
+                estimator.score_all(&cands)
+            };
+            (s, None)
+        };
+        let phases = estimator.phases();
+        drop(estimator);
+        if let Some(w) = win_mask {
+            // Keep transfer-mask memory O(window): masks for regions
+            // the rotation has left are cheap to recompute on return.
+            caches.mask.retain_only(w);
+        }
+        // A LAC must reduce hardware cost; changes that cost more nodes
+        // than their MFFC frees are not LACs at all. The top-k path already
+        // filtered them before scoring.
+        let (n_cands_eff, scored_exact, scored_pruned) = match topk_stats {
+            Some(st) => (st.n_candidates, st.n_exact, st.n_pruned),
+            None => {
+                scored.retain(|s| s.gain > 0);
+                (scored.len(), scored.len(), 0)
+            }
+        };
+        if scored.is_empty() {
+            continue;
+        }
+        return Some(RoundShared {
+            sim,
+            scored,
+            n_cands_eff,
+            scored_exact,
+            scored_pruned,
+            gen_ctrs,
+            candgen_ms,
+            mask_ms: phases.mask_ms,
+            score_ms: phases.score_ms,
+            window_targets,
+        });
     }
-    Some(RoundShared {
-        sim,
-        scored,
-        n_cands_eff,
-        scored_exact,
-        scored_pruned,
-        gen_ctrs,
-        candgen_ms,
-        mask_ms: phases.mask_ms,
-        score_ms: phases.score_ms,
-    })
+    None
+}
+
+/// How a round concluded for one member: adopt the committed edit,
+/// discard it and retry the unchanged revision with the next window,
+/// or converge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundOutcome {
+    Adopt,
+    Retry,
+    Finish,
 }
 
 /// A committed round edit: the new circuit, its measured error, the
@@ -449,6 +527,7 @@ fn single_round<'a>(
         candgen_strip_cmps: 0,
         candgen_pool_hits: 0,
         candgen_pool_misses: 0,
+        window_targets: 0,
     };
     (committed, trace)
 }
@@ -623,6 +702,7 @@ fn multi_round<'a>(
         candgen_strip_cmps: 0,
         candgen_pool_hits: 0,
         candgen_pool_misses: 0,
+        window_targets: 0,
     };
     (committed, trace)
 }
@@ -719,6 +799,7 @@ fn multi_round_incremental<'a>(
         candgen_strip_cmps: 0,
         candgen_pool_hits: 0,
         candgen_pool_misses: 0,
+        window_targets: 0,
     };
     (committed, trace)
 }
@@ -739,6 +820,10 @@ pub struct FlowInstance {
     e: f64,
     round: usize,
     rounds_since_shrink: usize,
+    /// Consecutive strict-sub-window rounds discarded because their
+    /// window overshot the bound or stalled (reset on every adopted
+    /// round).
+    window_fails: usize,
     finished: bool,
     traces: Vec<RoundTrace>,
     initial_ands: usize,
@@ -793,6 +878,7 @@ impl FlowInstance {
             e: 0.0,
             round: 0,
             rounds_since_shrink: 0,
+            window_fails: 0,
             finished: false,
             traces: Vec::new(),
             initial_ands,
@@ -857,26 +943,51 @@ impl FlowInstance {
         t.candgen_strip_cmps = shared.gen_ctrs.strip_cmps;
         t.candgen_pool_hits = shared.gen_ctrs.pool_hits;
         t.candgen_pool_misses = shared.gen_ctrs.pool_misses;
+        t.window_targets = shared.window_targets;
     }
 
     /// The loop tail of Algorithm 1: push the trace, stop on bound
     /// overshoot / shrink stagnation / no progress (keeping the
-    /// previous circuit), otherwise adopt the committed edit. Returns
-    /// whether the flow continues; the caller rolls the caches' pending
-    /// remap forward only then.
-    fn conclude(&mut self, committed: &Committed, t: RoundTrace) -> bool {
+    /// previous circuit), otherwise adopt the committed edit. A strict
+    /// sub-window round that overshoots or stalls exhausts only its
+    /// *window*, not the circuit: the edit is discarded and the flow
+    /// retries from the unchanged revision, letting the rotation move
+    /// to the next region — until a full rotation of consecutive
+    /// failures proves no window can make progress. The caller rolls
+    /// the caches' pending remap forward on `Adopt`, and through the
+    /// identity on `Retry`.
+    fn conclude(&mut self, committed: &Committed, t: RoundTrace) -> RoundOutcome {
         let e_after = t.e_after;
         let applied = t.applied;
+        let windowed = t.window_targets > 0;
         let cur_ands = self.current.n_ands();
         let next_ands = committed.aig.n_ands();
         let shrunk = next_ands < cur_ands;
+        let progress = applied > 0 && next_ands <= cur_ands && (shrunk || e_after != self.e);
         self.traces.push(t);
         self.round += 1;
+        if windowed && (e_after > self.cfg.error_bound || !progress) {
+            // Two full rotations of consecutive failed windows bound
+            // the retries, mirroring `prepare_round`'s empty-window
+            // budget: every region has then proven unable to move the
+            // flow at this revision.
+            self.window_fails += 1;
+            let budget = match &self.cfg.window {
+                Some(spec) => 2 * crate::window::segment_count(&self.current, spec),
+                None => 0,
+            };
+            if self.window_fails >= budget {
+                self.finish();
+                return RoundOutcome::Finish;
+            }
+            self.elapsed = self.start.elapsed();
+            return RoundOutcome::Retry;
+        }
         if e_after > self.cfg.error_bound {
             // The new circuit violates the bound: Algorithm 1 stops
             // and returns the previous circuit.
             self.finish();
-            return false;
+            return RoundOutcome::Finish;
         }
         // The flow exists to reduce area: error-only movement is
         // tolerated briefly (positive sets can lower the error), but
@@ -888,10 +999,10 @@ impl FlowInstance {
             self.rounds_since_shrink += 1;
             if self.rounds_since_shrink >= 30 {
                 self.finish();
-                return false;
+                return RoundOutcome::Finish;
             }
         }
-        if !(applied > 0 && next_ands <= cur_ands && (shrunk || e_after != self.e)) {
+        if !progress {
             // Neither the multi set nor the single-LAC retry moved
             // the circuit forward. Accepting an area-increasing edit
             // is never progress — gain estimates can be off by a
@@ -900,12 +1011,13 @@ impl FlowInstance {
             // lower error, re-shrink, repeat). The flow has
             // converged.
             self.finish();
-            return false;
+            return RoundOutcome::Finish;
         }
+        self.window_fails = 0;
         self.current = committed.aig.clone();
         self.e = e_after;
         self.elapsed = self.start.elapsed();
-        true
+        RoundOutcome::Adopt
     }
 
     /// Runs one round. Returns `false` once the flow has converged —
@@ -918,9 +1030,15 @@ impl FlowInstance {
             self.finish();
             return false;
         }
-        let Some(shared) =
-            prepare_round(&self.cfg, self.pool, &self.current, &self.pats, caches, self.r_ref)
-        else {
+        let Some(shared) = prepare_round(
+            &self.cfg,
+            self.pool,
+            &self.current,
+            &self.pats,
+            &self.golden_sigs,
+            caches,
+            self.r_ref,
+        ) else {
             self.finish();
             return false;
         };
@@ -940,11 +1058,20 @@ impl FlowInstance {
         let (committed, mut t) = decide_round(&ctx, &shared, &mut self.rng, &mut scratch);
         drop(scratch);
         self.fill_shared(&mut t, &shared);
-        let continuing = self.conclude(&committed, t);
-        if continuing {
-            caches.last_remap = Some(committed.remap.clone());
+        match self.conclude(&committed, t) {
+            RoundOutcome::Adopt => {
+                caches.last_remap = Some(committed.remap.clone());
+                true
+            }
+            RoundOutcome::Retry => {
+                // The circuit revision did not change; the caches roll
+                // through the identity so the next round's window sees
+                // them at current ids.
+                caches.last_remap = Some(identity_remap(self.current.n_nodes()));
+                true
+            }
+            RoundOutcome::Finish => false,
         }
-        continuing
     }
 
     /// Consumes the instance into the standard synthesis result.
@@ -1042,7 +1169,9 @@ fn step_cohort_impl(
     let pats = members[0].pats.clone();
     let golden_sigs = members[0].golden_sigs.clone();
     let (rep_cfg, rep_pool, rep_r_ref) = (members[0].cfg.clone(), members[0].pool, members[0].r_ref);
-    let Some(shared) = prepare_round(&rep_cfg, rep_pool, &base, &pats, caches, rep_r_ref) else {
+    let Some(shared) =
+        prepare_round(&rep_cfg, rep_pool, &base, &pats, &golden_sigs, caches, rep_r_ref)
+    else {
         for m in members.iter_mut() {
             m.finish();
         }
@@ -1050,7 +1179,7 @@ fn step_cohort_impl(
     };
 
     let mut scratch = RoundScratch::default();
-    let mut outcomes: Vec<Option<Arc<Committed>>> = Vec::with_capacity(members.len());
+    let mut outcomes: Vec<Option<Option<Arc<Committed>>>> = Vec::with_capacity(members.len());
     for m in members.iter_mut() {
         let ctx = RoundCtx {
             cfg: &m.cfg,
@@ -1066,8 +1195,13 @@ fn step_cohort_impl(
         };
         let (committed, mut t) = decide_round(&ctx, &shared, &mut m.rng, &mut scratch);
         m.fill_shared(&mut t, &shared);
-        let continuing = m.conclude(&committed, t);
-        outcomes.push(continuing.then_some(committed));
+        // Outer option: still continuing. Inner option: adopted an edit
+        // (`None` = windowed retry from the unchanged revision).
+        outcomes.push(match m.conclude(&committed, t) {
+            RoundOutcome::Adopt => Some(Some(committed)),
+            RoundOutcome::Retry => Some(None),
+            RoundOutcome::Finish => None,
+        });
     }
     drop(scratch);
 
@@ -1075,16 +1209,23 @@ fn step_cohort_impl(
     // Arc pointer): members that committed the same set share the same
     // downstream cache state. Distinct sets reaching the same circuit
     // are (conservatively, safely) treated as separate branches.
-    let mut groups: Vec<(Vec<usize>, Arc<Committed>)> = Vec::new();
+    // Windowed retries form one extra branch staying on the base
+    // circuit (its caches roll through the identity).
+    let mut groups: Vec<(Vec<usize>, Option<Arc<Committed>>)> = Vec::new();
     for (i, oc) in outcomes.iter().enumerate() {
         if let Some(c) = oc {
-            match groups.iter_mut().find(|(_, g)| Arc::ptr_eq(g, c)) {
+            let same = |g: &Option<Arc<Committed>>| match (g, c) {
+                (Some(g), Some(c)) => Arc::ptr_eq(g, c),
+                (None, None) => true,
+                _ => false,
+            };
+            match groups.iter_mut().find(|(_, g)| same(g)) {
                 Some((v, _)) => v.push(i),
                 None => groups.push((vec![i], c.clone())),
             }
         }
     }
-    if late_fork && groups.len() > 1 {
+    if late_fork && groups.len() > 1 && groups[0].1.is_some() {
         // Deliberate fault: defer the fork by one round. Every
         // continuing member stays on the FIRST group's branch — its
         // circuit and the shared caches — for one more round, as if the
@@ -1096,6 +1237,7 @@ fn step_cohort_impl(
         // standalone run — which the sweep differential oracle exists
         // to catch.
         let (g0, c0) = &groups[0];
+        let c0 = c0.as_ref().expect("guarded: group 0 adopted an edit");
         caches.last_remap = Some(c0.remap.clone());
         let mut all: Vec<usize> = groups.iter().flat_map(|(v, _)| v.iter().copied()).collect();
         all.sort_unstable();
@@ -1111,17 +1253,23 @@ fn step_cohort_impl(
     }
     let mut out = Vec::with_capacity(groups.len());
     for (gi, (idxs, c)) in groups.into_iter().enumerate() {
+        let remap = match &c {
+            Some(c) => c.remap.clone(),
+            // Retry branch: the base circuit is unchanged, so its
+            // caches roll through the identity.
+            None => identity_remap(base.n_nodes()),
+        };
         if gi == 0 {
             // The first group keeps the shared caches; its remap is
             // what the next prepare rolls them through.
-            caches.last_remap = Some(c.remap.clone());
+            caches.last_remap = Some(remap);
             out.push(CohortSplit {
                 members: idxs,
                 caches: None,
             });
         } else {
             let mut f = caches.fork();
-            f.last_remap = Some(c.remap.clone());
+            f.last_remap = Some(remap);
             out.push(CohortSplit {
                 members: idxs,
                 caches: Some(f),

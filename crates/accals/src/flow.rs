@@ -100,11 +100,11 @@ impl SynthesisResult {
     /// round), for offline analysis of a synthesis run.
     pub fn trace_csv(&self) -> String {
         let mut s = String::from(
-            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after,scored_exact,scored_pruned,candgen_ms,mask_ms,score_ms,select_ms,trial_ms,commit_ms,candgen_probe_draws,candgen_strip_cmps,candgen_pool_hits,candgen_pool_misses\n",
+            "round,single_mode,n_candidates,r_top,n_sol,n_indp,n_rand,chose_indp,applied,dropped_cycle,reverted,e_before,e_after,e_est,n_ands_after,scored_exact,scored_pruned,candgen_ms,mask_ms,score_ms,select_ms,trial_ms,commit_ms,candgen_probe_draws,candgen_strip_cmps,candgen_pool_hits,candgen_pool_misses,window_targets\n",
         );
         for t in &self.rounds {
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}\n",
                 t.round,
                 t.single_mode,
                 t.n_candidates,
@@ -131,7 +131,8 @@ impl SynthesisResult {
                 t.candgen_probe_draws,
                 t.candgen_strip_cmps,
                 t.candgen_pool_hits,
-                t.candgen_pool_misses
+                t.candgen_pool_misses,
+                t.window_targets
             ));
         }
         s
@@ -341,6 +342,7 @@ mod tests {
             candgen_strip_cmps: 8,
             candgen_pool_hits: 9,
             candgen_pool_misses: 10,
+            window_targets: 0,
         }
     }
 
@@ -393,6 +395,7 @@ mod tests {
                 "candgen_strip_cmps",
                 "candgen_pool_hits",
                 "candgen_pool_misses",
+                "window_targets",
             ]
         );
         // Every row has exactly as many fields as the header.

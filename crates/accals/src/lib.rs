@@ -43,6 +43,7 @@ mod engine;
 mod flow;
 mod trace;
 mod trial;
+pub(crate) mod window;
 
 pub use engine::{step_cohort, step_cohort_faulted, CohortSplit, FlowCaches, FlowInstance};
 pub use flow::{Accals, SynthesisResult};
@@ -52,6 +53,21 @@ pub use trial::{TrialEval, TrialMeasure};
 use errmetrics::MetricKind;
 use lac::CandidateConfig;
 use misolver::MisStrategy;
+
+/// Configuration of windowed (locality-bounded) rounds: each round's
+/// candidate generation, mask building, scoring, and trials are
+/// restricted to a bounded region of the circuit — per-round work
+/// becomes `O(window)` instead of `O(|circuit|)` — while error
+/// accounting stays globally exact (every candidate is still scored
+/// and measured over the full circuit and sample). See
+/// [`crate::window`] and DESIGN.md §14 for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Maximum live AND targets per round window. Circuits at or below
+    /// this size run exactly the dense (unwindowed) round, so a window
+    /// spanning the whole graph is bit-identical to `window: None`.
+    pub max_targets: usize,
+}
 
 /// A size parameter that either follows the paper's banding by circuit
 /// size or is fixed explicitly.
@@ -149,6 +165,12 @@ pub struct AccalsConfig {
     /// synthesized circuit, is bit-identical either way — so this
     /// exists for benchmarking the speedup and as a fallback.
     pub pruned_scoring: bool,
+    /// Windowed rounds: restrict each round's candidate targets to a
+    /// bounded, rotating region of the circuit ([`WindowSpec`]). `None`
+    /// (the default) runs dense rounds over the whole graph. Window
+    /// selection is bound-independent, so windowed configurations still
+    /// form sweep families.
+    pub window: Option<WindowSpec>,
 }
 
 impl AccalsConfig {
@@ -178,6 +200,7 @@ impl AccalsConfig {
             incremental_trials: true,
             incremental_candgen: true,
             pruned_scoring: true,
+            window: None,
         }
     }
 
@@ -204,6 +227,7 @@ impl AccalsConfig {
             && self.incremental_trials == other.incremental_trials
             && self.incremental_candgen == other.incremental_candgen
             && self.pruned_scoring == other.pruned_scoring
+            && self.window == other.window
     }
 }
 
@@ -213,6 +237,9 @@ pub(crate) fn validate_config(cfg: &AccalsConfig) {
     assert!((0.0..=1.0).contains(&cfg.l_e), "l_e must be in [0, 1]");
     assert!((0.0..=1.0).contains(&cfg.l_d), "l_d must be in [0, 1]");
     assert!(cfg.lambda > 0.0, "lambda must be positive");
+    if let Some(w) = cfg.window {
+        assert!(w.max_targets > 0, "window max_targets must be positive");
+    }
 }
 
 #[cfg(test)]

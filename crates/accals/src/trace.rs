@@ -75,6 +75,9 @@ pub struct RoundTrace {
     pub candgen_pool_hits: u64,
     /// Nodes whose candidates were (re)generated this round.
     pub candgen_pool_misses: u64,
+    /// Target-node count of the round's window (0 on dense rounds —
+    /// no window configured, or the circuit fit in a single window).
+    pub window_targets: usize,
 }
 
 impl RoundTrace {
@@ -122,6 +125,7 @@ mod tests {
             candgen_strip_cmps: 0,
             candgen_pool_hits: 0,
             candgen_pool_misses: 0,
+            window_targets: 0,
         }
     }
 

@@ -650,13 +650,13 @@ fn bench_circuit(name: &str, serial: &'static ThreadPool, par: &'static ThreadPo
     let mut candgen_warm_ctrs = GenCounters::default();
     for _ in 0..REPEATS {
         let mut store = CandidateStore::new();
-        store.generate(&g0, &sim0, &ccfg, None, par);
+        store.generate(&g0, &sim0, &ccfg, None, par, None);
         let mut cache = MaskCache::new();
         BatchEstimator::with_cache(&g0, &sim0, &eval0, &mut cache, None)
             .use_pool(par)
             .score_all(&cands0);
         let t0 = Instant::now();
-        let warm_cands = store.generate(&g2, &sim2, &ccfg, Some(&remap2), par);
+        let warm_cands = store.generate(&g2, &sim2, &ccfg, Some(&remap2), par, None);
         candgen_warm.push(t0.elapsed().as_secs_f64() * 1e3);
         candgen_warm_ctrs = store.last_gen_counters();
         let mut est = BatchEstimator::with_cache(&g2, &sim2, &eval2, &mut cache, Some(&remap2))
@@ -773,7 +773,7 @@ fn smoke(par: &'static ThreadPool) {
         // payload must match a direct recomputation.
         let ccfg = CandidateConfig::default();
         let mut store = CandidateStore::new();
-        let c0 = store.generate(&g, &sim, &ccfg, None, par);
+        let c0 = store.generate(&g, &sim, &ccfg, None, par, None);
         assert_eq!(c0, cands, "{name}: store round-0 list diverged");
         let mut eval = ErrorEval::new(MetricKind::Er, &golden, pats.n_patterns());
         eval.rebase(&sim.output_sigs(&g));
@@ -789,7 +789,7 @@ fn smoke(par: &'static ThreadPool) {
         lac::apply_all(&mut g1, &[best.lac]);
         let remap = g1.cleanup().expect("apply keeps the graph acyclic");
         let sim1 = simulate(&g1, &pats);
-        let rolled = store.generate(&g1, &sim1, &ccfg, Some(&remap), par);
+        let rolled = store.generate(&g1, &sim1, &ccfg, Some(&remap), par, None);
         let fresh1 = generate_candidates(&g1, &sim1, &ccfg);
         assert_eq!(rolled, fresh1, "{name}: warm candidate list diverged");
         let mut scratch = vec![0u64; sim1.stride()];

@@ -1,0 +1,496 @@
+//! Windowed-synthesis benchmark: locality-bounded rounds
+//! (`AccalsConfig::window`) versus dense whole-circuit rounds.
+//!
+//! Three parts, written to `BENCH_window.json`:
+//!
+//! - **small**: on small suite circuits, dense and windowed runs side by
+//!   side — final (error, area), rounds, wall-clock — showing the
+//!   windowed trajectory lands in the dense flow's Pareto neighborhood.
+//!   A window spanning the whole graph is additionally asserted
+//!   bit-identical to the dense flow.
+//! - **dense_fit**: dense per-round wall-clock measured across one
+//!   multiplier family at growing widths, with a log-log power-law fit
+//!   `round_ms = c * n_ands^alpha`. Dense rounds on 100k-node circuits
+//!   are exactly what windowing avoids, so the whole-circuit cost at
+//!   EPFL scale is *extrapolated* from this fit rather than endured.
+//! - **epfl**: windowed-only throughput on full-scale EPFL-class
+//!   instances ([`benchgen::epfl`]), per-round wall and candgen
+//!   counters (which scale with the window, not the circuit), and the
+//!   speedup against the extrapolated dense round.
+//!
+//! Usage: `bench_window` (full run), or `bench_window --smoke` for a
+//! fast identity + bound sanity check that writes no file (used by
+//! `scripts/check_offline.sh`).
+
+use accals::{Accals, AccalsConfig, FlowInstance, SizeParam, SynthesisResult, WindowSpec};
+use aig::Aig;
+use bitsim::Patterns;
+use errmetrics::MetricKind;
+use parkit::ThreadPool;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Small circuits for the dense-vs-windowed quality comparison.
+const SMALL: [&str; 3] = ["mtp8", "rca32", "cla32"];
+
+/// Multiplier widths anchoring the dense per-round cost fit. All five
+/// share the EPFL configuration family (same pattern count, same set
+/// sizes), so the fit extrapolates the identical dense pipeline.
+const FIT_WIDTHS: [usize; 5] = [8, 12, 16, 20, 24];
+
+/// Full-scale instances for the windowed throughput measurement.
+/// `mult128` is the >=50k-AND acceptance instance.
+const EPFL: [&str; 3] = ["square64", "mult64", "mult128"];
+
+/// Live-AND targets per window on the EPFL instances.
+const EPFL_MAX_TARGETS: usize = 512;
+
+/// Windowed rounds measured per EPFL instance.
+const EPFL_STEPS: usize = 8;
+
+/// Dense rounds measured per fit width.
+const FIT_STEPS: usize = 5;
+
+/// The shared configuration family for the fit and EPFL parts: ER with
+/// a loose bound (rounds keep applying LACs instead of converging),
+/// 2048 random patterns regardless of input count, and fixed set sizes
+/// so per-round cost differences come from circuit size alone.
+fn epfl_cfg(bound: f64) -> AccalsConfig {
+    let mut cfg = AccalsConfig::new(MetricKind::Er, bound);
+    cfg.max_exhaustive = 1 << 11;
+    cfg.n_random_patterns = 1 << 11;
+    cfg.r_ref = SizeParam::Fixed(100);
+    cfg.r_sel = SizeParam::Fixed(20);
+    cfg
+}
+
+fn metric_for(name: &str) -> (MetricKind, f64) {
+    match name {
+        "mtp8" | "wal8" => (MetricKind::Nmed, 0.01),
+        "rca32" | "cla32" | "ksa32" => (MetricKind::Nmed, 0.02),
+        _ => (MetricKind::Er, 0.2),
+    }
+}
+
+fn run_flow(
+    golden: &Aig,
+    kind: MetricKind,
+    bound: f64,
+    window: Option<WindowSpec>,
+    pool: &'static ThreadPool,
+) -> SynthesisResult {
+    let mut cfg = AccalsConfig::new(kind, bound);
+    cfg.window = window;
+    Accals::new(cfg).with_pool(pool).synthesize(golden)
+}
+
+/// Runs up to `max_steps` rounds, timing each `FlowInstance::step`
+/// individually, and returns the per-round wall times alongside the
+/// instance for counter inspection.
+fn timed_steps(
+    cfg: AccalsConfig,
+    golden: &Aig,
+    pool: &'static ThreadPool,
+    max_steps: usize,
+) -> (Vec<f64>, FlowInstance) {
+    let pats = Patterns::for_circuit(
+        golden.n_pis(),
+        cfg.max_exhaustive,
+        cfg.n_random_patterns,
+        cfg.seed,
+    );
+    let (mut flow, mut caches) = FlowInstance::new(cfg, pool, golden, Arc::new(pats));
+    let mut step_ms = Vec::new();
+    for _ in 0..max_steps {
+        let t0 = Instant::now();
+        let more = flow.step(&mut caches);
+        step_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if !more {
+            break;
+        }
+    }
+    // Only keep samples that correspond to a completed round; the final
+    // call on a converged flow does no round work.
+    step_ms.truncate(flow.rounds().len());
+    (step_ms, flow)
+}
+
+fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn median_usize(xs: &[usize]) -> usize {
+    assert!(!xs.is_empty(), "median of an empty sample");
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Least-squares power-law fit `y = exp(ln_c) * x^alpha` in log-log
+/// space. Returns `(ln_c, alpha)`.
+fn fit_power(points: &[(f64, f64)]) -> (f64, f64) {
+    assert!(points.len() >= 2, "fit needs at least two points");
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    let alpha = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let ln_c = (sy - alpha * sx) / n;
+    (ln_c, alpha)
+}
+
+/// Dense and full-window flows promise the identical committed circuit
+/// through the identical round sequence.
+fn check_identity(name: &str, dense: &SynthesisResult, win: &SynthesisResult) {
+    assert_eq!(
+        dense.aig.n_ands(),
+        win.aig.n_ands(),
+        "{name}: gate count diverged between dense and full-window flows"
+    );
+    assert_eq!(
+        dense.error.to_bits(),
+        win.error.to_bits(),
+        "{name}: final error diverged between dense and full-window flows"
+    );
+    assert_eq!(
+        dense.rounds.len(),
+        win.rounds.len(),
+        "{name}: round count diverged between dense and full-window flows"
+    );
+    for (rd, rw) in dense.rounds.iter().zip(&win.rounds) {
+        assert_eq!(
+            (rd.applied, rd.e_after.to_bits(), rd.n_ands_after),
+            (rw.applied, rw.e_after.to_bits(), rw.n_ands_after),
+            "{name}: round {} diverged between dense and full-window flows",
+            rd.round
+        );
+    }
+}
+
+struct SmallReport {
+    name: String,
+    kind: MetricKind,
+    bound: f64,
+    max_targets: usize,
+    initial_ands: usize,
+    dense_ms: f64,
+    dense_final_ands: usize,
+    dense_error: f64,
+    dense_rounds: usize,
+    win_ms: f64,
+    win_final_ands: usize,
+    win_error: f64,
+    win_rounds: usize,
+}
+
+struct EpflReport {
+    name: String,
+    n_ands: usize,
+    max_targets: usize,
+    rounds: usize,
+    round_ms_median: f64,
+    rounds_per_sec: f64,
+    extrapolated_dense_ms: f64,
+    speedup: f64,
+    window_targets_median: usize,
+    regen_targets_median: usize,
+    error: f64,
+    final_ands: usize,
+}
+
+fn bench_small(name: &str, pool: &'static ThreadPool) -> SmallReport {
+    let golden = benchgen::suite::by_name(name).expect("known suite circuit");
+    let (kind, bound) = metric_for(name);
+    let max_targets = 64;
+
+    let t0 = Instant::now();
+    let dense = run_flow(&golden, kind, bound, None, pool);
+    let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // A window spanning the whole graph must be bit-identical to no
+    // window at all — the benchmark's baseline sanity check.
+    let full = run_flow(
+        &golden,
+        kind,
+        bound,
+        Some(WindowSpec {
+            max_targets: usize::MAX,
+        }),
+        pool,
+    );
+    check_identity(name, &dense, &full);
+
+    let t0 = Instant::now();
+    let win = run_flow(&golden, kind, bound, Some(WindowSpec { max_targets }), pool);
+    let win_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        win.error <= bound,
+        "{name}: windowed error {} over bound {bound}",
+        win.error
+    );
+
+    SmallReport {
+        name: name.to_string(),
+        kind,
+        bound,
+        max_targets,
+        initial_ands: golden.n_ands(),
+        dense_ms,
+        dense_final_ands: dense.aig.n_ands(),
+        dense_error: dense.error,
+        dense_rounds: dense.rounds.len(),
+        win_ms,
+        win_final_ands: win.aig.n_ands(),
+        win_error: win.error,
+        win_rounds: win.rounds.len(),
+    }
+}
+
+fn bench_epfl(
+    name: &str,
+    (ln_c, alpha): (f64, f64),
+    pool: &'static ThreadPool,
+) -> EpflReport {
+    let golden = benchgen::epfl::by_name(name).expect("known EPFL instance");
+    let n_ands = golden.n_ands();
+    let mut cfg = epfl_cfg(0.05);
+    cfg.window = Some(WindowSpec {
+        max_targets: EPFL_MAX_TARGETS,
+    });
+    let (step_ms, flow) = timed_steps(cfg, &golden, pool, EPFL_STEPS);
+    let round_ms_median = median(&step_ms);
+    let window_targets: Vec<usize> = flow.rounds().iter().map(|r| r.window_targets).collect();
+    let regen_targets: Vec<usize> = flow
+        .rounds()
+        .iter()
+        .map(|r| r.candgen_pool_misses as usize)
+        .collect();
+    let extrapolated_dense_ms = (ln_c + alpha * (n_ands as f64).ln()).exp();
+    let error = flow.error();
+    let final_ands = flow.current().n_ands();
+    EpflReport {
+        name: name.to_string(),
+        n_ands,
+        max_targets: EPFL_MAX_TARGETS,
+        rounds: step_ms.len(),
+        round_ms_median,
+        rounds_per_sec: 1e3 / round_ms_median.max(1e-9),
+        extrapolated_dense_ms,
+        speedup: extrapolated_dense_ms / round_ms_median.max(1e-9),
+        window_targets_median: median_usize(&window_targets),
+        regen_targets_median: median_usize(&regen_targets),
+        error,
+        final_ands,
+    }
+}
+
+fn smoke(pools: &[&'static ThreadPool]) {
+    let golden = benchgen::multipliers::array_multiplier(4);
+    let dense = run_flow(&golden, MetricKind::Nmed, 0.005, None, pools[0]);
+    let full = run_flow(
+        &golden,
+        MetricKind::Nmed,
+        0.005,
+        Some(WindowSpec {
+            max_targets: usize::MAX,
+        }),
+        pools[0],
+    );
+    check_identity("mtp4 full-window", &dense, &full);
+
+    let spec = Some(WindowSpec { max_targets: 16 });
+    let mut reference: Option<SynthesisResult> = None;
+    for pool in pools {
+        let win = run_flow(&golden, MetricKind::Nmed, 0.005, spec, pool);
+        assert!(
+            win.error <= 0.005,
+            "mtp4 windowed error {} over bound",
+            win.error
+        );
+        assert!(
+            win.rounds.iter().any(|r| r.window_targets > 0),
+            "mtp4 windowed run never selected a window"
+        );
+        match &reference {
+            None => reference = Some(win),
+            Some(first) => check_identity(
+                &format!("mtp4 windowed threads={}", pool.threads()),
+                first,
+                &win,
+            ),
+        }
+    }
+    println!("smoke ok (full-window identical to dense; windowed run meets bound, deterministic across thread counts)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pools: Vec<&'static ThreadPool> = [1usize, 4]
+        .iter()
+        .map(|&t| &*Box::leak(Box::new(ThreadPool::new(t))))
+        .collect();
+
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(&pools);
+        return;
+    }
+    let pool = pools[1];
+
+    println!(
+        "bench_window: locality-bounded rounds vs dense rounds ({} cores visible)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    // Part 1: quality on small circuits.
+    let mut small_reports = Vec::new();
+    for name in SMALL {
+        let r = bench_small(name, pool);
+        println!(
+            "{:>6} ({:?} <= {}): dense {} ANDs err {:.4} in {} rounds ({:.0}ms) | windowed({}) {} ANDs err {:.4} in {} rounds ({:.0}ms)",
+            r.name,
+            r.kind,
+            r.bound,
+            r.dense_final_ands,
+            r.dense_error,
+            r.dense_rounds,
+            r.dense_ms,
+            r.max_targets,
+            r.win_final_ands,
+            r.win_error,
+            r.win_rounds,
+            r.win_ms,
+        );
+        small_reports.push(r);
+    }
+
+    // Part 2: dense per-round cost fit over one multiplier family.
+    let mut fit_points = Vec::new();
+    for w in FIT_WIDTHS {
+        let golden = {
+            let mut g = benchgen::multipliers::wallace_multiplier(w);
+            g.optimize(1).expect("generated circuits are acyclic");
+            g
+        };
+        let (step_ms, flow) = timed_steps(epfl_cfg(0.05), &golden, pool, FIT_STEPS);
+        let per_round = median(&step_ms);
+        println!(
+            "dense fit: wallace({w}) {} ANDs -> {:.1}ms/round over {} rounds",
+            golden.n_ands(),
+            per_round,
+            flow.rounds().len()
+        );
+        fit_points.push((golden.n_ands() as f64, per_round));
+    }
+    let (ln_c, alpha) = fit_power(&fit_points);
+    println!(
+        "dense fit: round_ms ~ {:.3e} * n_ands^{:.2}",
+        ln_c.exp(),
+        alpha
+    );
+
+    // Part 3: windowed throughput at EPFL scale.
+    let mut epfl_reports = Vec::new();
+    for name in EPFL {
+        let r = bench_epfl(name, (ln_c, alpha), pool);
+        println!(
+            "{:>9} ({} ANDs): windowed round {:.1}ms ({:.2} rounds/s, window {} targets, {} regenerated) | extrapolated dense round {:.0}ms -> {:.1}x",
+            r.name,
+            r.n_ands,
+            r.round_ms_median,
+            r.rounds_per_sec,
+            r.window_targets_median,
+            r.regen_targets_median,
+            r.extrapolated_dense_ms,
+            r.speedup,
+        );
+        assert!(
+            r.window_targets_median <= EPFL_MAX_TARGETS,
+            "{name}: window exceeded max_targets"
+        );
+        epfl_reports.push(r);
+    }
+    let m128 = epfl_reports
+        .iter()
+        .find(|r| r.name == "mult128")
+        .expect("mult128 measured");
+    assert!(
+        m128.speedup >= 10.0,
+        "mult128 windowed round must be >=10x below the extrapolated dense round, got {:.1}x",
+        m128.speedup
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"window\",\n  \"small\": [\n");
+    for (i, r) in small_reports.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"circuit\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"metric\": \"{:?}\",", r.kind);
+        let _ = writeln!(json, "      \"error_bound\": {},", r.bound);
+        let _ = writeln!(json, "      \"max_targets\": {},", r.max_targets);
+        let _ = writeln!(json, "      \"initial_ands\": {},", r.initial_ands);
+        let _ = writeln!(json, "      \"full_window_identical\": true,");
+        let _ = writeln!(json, "      \"dense_ms\": {:.3},", r.dense_ms);
+        let _ = writeln!(json, "      \"dense_final_ands\": {},", r.dense_final_ands);
+        let _ = writeln!(json, "      \"dense_error\": {:.6},", r.dense_error);
+        let _ = writeln!(json, "      \"dense_rounds\": {},", r.dense_rounds);
+        let _ = writeln!(json, "      \"windowed_ms\": {:.3},", r.win_ms);
+        let _ = writeln!(json, "      \"windowed_final_ands\": {},", r.win_final_ands);
+        let _ = writeln!(json, "      \"windowed_error\": {:.6},", r.win_error);
+        let _ = writeln!(json, "      \"windowed_rounds\": {}", r.win_rounds);
+        json.push_str("    }");
+        json.push_str(if i + 1 < small_reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"dense_fit\": {\n    \"points\": [\n");
+    for (i, (n, ms)) in fit_points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{ \"n_ands\": {}, \"round_ms\": {:.3} }}",
+            *n as usize, ms
+        );
+        json.push_str(if i + 1 < fit_points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"alpha\": {alpha:.4},");
+    let _ = writeln!(json, "    \"c_ms\": {:.6}", ln_c.exp());
+    json.push_str("  },\n  \"epfl\": [\n");
+    for (i, r) in epfl_reports.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"circuit\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"n_ands\": {},", r.n_ands);
+        let _ = writeln!(json, "      \"max_targets\": {},", r.max_targets);
+        let _ = writeln!(json, "      \"rounds_measured\": {},", r.rounds);
+        let _ = writeln!(json, "      \"round_ms_median\": {:.3},", r.round_ms_median);
+        let _ = writeln!(json, "      \"rounds_per_sec\": {:.3},", r.rounds_per_sec);
+        let _ = writeln!(
+            json,
+            "      \"window_targets_median\": {},",
+            r.window_targets_median
+        );
+        let _ = writeln!(
+            json,
+            "      \"regen_targets_median\": {},",
+            r.regen_targets_median
+        );
+        let _ = writeln!(
+            json,
+            "      \"extrapolated_dense_round_ms\": {:.3},",
+            r.extrapolated_dense_ms
+        );
+        let _ = writeln!(json, "      \"speedup_vs_extrapolated_dense\": {:.2},", r.speedup);
+        let _ = writeln!(json, "      \"error_after_rounds\": {:.6},", r.error);
+        let _ = writeln!(json, "      \"final_ands\": {}", r.final_ands);
+        json.push_str("    }");
+        json.push_str(if i + 1 < epfl_reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_window.json", &json).expect("write BENCH_window.json");
+    println!("wrote BENCH_window.json");
+}

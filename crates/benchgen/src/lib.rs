@@ -41,6 +41,7 @@ pub mod alu;
 pub mod control;
 pub mod divsqrt;
 pub mod ecc;
+pub mod epfl;
 pub mod multipliers;
 pub mod nonlinear;
 pub mod primitives;

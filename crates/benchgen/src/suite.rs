@@ -85,7 +85,9 @@ pub fn by_name(name: &str) -> Option<Aig> {
         "bka32" => finish(adders::brent_kung(32), "bka32"),
         "csla32" => finish(adders::carry_select(32, 8), "csla32"),
         "dad8" => finish(multipliers::dadda_multiplier(8), "dad8"),
-        _ => return None,
+        // Full-scale EPFL-class instances (rca64, mult128, ...) live in
+        // [`crate::epfl`] and resolve through the same lookup.
+        _ => return crate::epfl::by_name(name),
     };
     Some(g)
 }

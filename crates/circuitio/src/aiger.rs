@@ -6,6 +6,27 @@
 use crate::ParseError;
 use aig::{Aig, Lit};
 
+/// Upper bound on any AIGER header count (`M`, `I`, `L`, `O`, `A`).
+/// Header counts size allocations before any payload is read, so a
+/// forged `aag 99999999999999 ...` header must produce a parse error,
+/// not an out-of-memory abort. 16M variables is far beyond anything
+/// the synthesis stack downstream can process.
+const MAX_HEADER_COUNT: usize = 1 << 24;
+
+/// Rejects header counts large enough to turn the pre-allocation of
+/// `var_map`/output lists into a memory bomb.
+fn check_header_counts(counts: [(char, usize); 5], line: usize) -> Result<(), ParseError> {
+    for (what, n) in counts {
+        if n > MAX_HEADER_COUNT {
+            return Err(ParseError::at(
+                format!("header count {what}={n} exceeds the supported maximum {MAX_HEADER_COUNT}"),
+                line,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Serializes `aig` in ASCII AIGER (`aag`) format with a symbol table.
 ///
 /// The graph is compacted first, so dangling nodes are not emitted.
@@ -57,6 +78,7 @@ pub fn read_ascii(text: &str) -> Result<Aig, ParseError> {
     let l = parse(fields[3], 1)?;
     let o = parse(fields[4], 1)?;
     let a = parse(fields[5], 1)?;
+    check_header_counts([('M', m), ('I', i), ('L', l), ('O', o), ('A', a)], 1)?;
     if l != 0 {
         return Err(ParseError::at("latches are not supported", 1));
     }
@@ -223,6 +245,7 @@ pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseError> {
         .map(|s| s.parse().map_err(|_| ParseError::new("bad header number")))
         .collect::<Result<_, _>>()?;
     let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    check_header_counts([('M', m), ('I', i), ('L', l), ('O', o), ('A', a)], 1)?;
     if l != 0 {
         return Err(ParseError::new("latches are not supported"));
     }

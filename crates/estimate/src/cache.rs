@@ -179,6 +179,20 @@ impl MaskCache {
     /// followed that branch alone would hold. The scratch [`DevPool`]
     /// is not shared — buffer contents never influence results, so the
     /// fork starts with an empty pool.
+    /// Drops every cached entry whose node is not set in `keep`
+    /// (indexed by `NodeId::index` at the cache's current revision).
+    /// Dropping an entry only ever costs a recomputation on the next
+    /// lookup — never correctness — so windowed flows use this to keep
+    /// transfer-mask memory `O(window)` instead of accumulating masks
+    /// for every region the rotation has visited.
+    pub fn retain_only(&mut self, keep: &[bool]) {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.is_some() && !keep.get(i).copied().unwrap_or(false) {
+                *e = None;
+            }
+        }
+    }
+
     pub fn fork(&self) -> MaskCache {
         MaskCache {
             stride: self.stride,

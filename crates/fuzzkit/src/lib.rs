@@ -71,6 +71,11 @@ pub enum Fault {
     /// stay on the first branch's circuit and shared caches for one
     /// extra round before splitting.
     SweepStaleFork,
+    /// Ignore the window membership mask when the `CandidateStore`
+    /// emits candidates (see `CandidateStore::inject_window_leak`), so
+    /// carried out-of-window entries leak through the boundary freeze
+    /// into a windowed round's candidate list.
+    WindowLeak,
 }
 
 /// A self-contained fuzz case: a seed plus the knobs that shape the
@@ -118,6 +123,7 @@ impl fmt::Display for FuzzCase {
             Fault::StoreStaleArena => "store-arena",
             Fault::TopkLooseBound => "topk-bound",
             Fault::SweepStaleFork => "sweep-stale-fork",
+            Fault::WindowLeak => "window-leak",
         };
         write!(
             f,
@@ -190,6 +196,7 @@ impl FromStr for FuzzCase {
                         "store-arena" => Fault::StoreStaleArena,
                         "topk-bound" => Fault::TopkLooseBound,
                         "sweep-stale-fork" => Fault::SweepStaleFork,
+                        "window-leak" => Fault::WindowLeak,
                         _ => return Err(bad("fault")),
                     };
                 }
@@ -303,6 +310,15 @@ mod tests {
                 n_ops: 5,
                 n_patterns: 0,
                 fault: Fault::SweepStaleFork,
+            },
+            FuzzCase {
+                seed: 0x71d0,
+                source: Source::Bench(0),
+                n_pis: 4,
+                n_ands: 8,
+                n_ops: 6,
+                n_patterns: 64,
+                fault: Fault::WindowLeak,
             },
         ];
         for c in cases {

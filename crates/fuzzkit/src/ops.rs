@@ -15,6 +15,7 @@
 //! | `estimate` top-k pruning    | dense `obtain_top_set` bit-identity at 1/2/8 threads, fresh + cached masks |
 //! | `accals::TrialEval`         | clone → `apply_all` → `cleanup` → resimulate → re-measure |
 //! | `sweep` cohort sharing      | batched bound ladder vs standalone flows: bit-identical trajectories |
+//! | windowed candidate paths    | windowed generation (fresh + store-carried) vs full generation filtered to the window; full-span windowed flow vs dense flow bit-identity |
 //! | `errmetrics` end to end     | BDD exact error vs exhaustive simulation (≤14 inputs) |
 //!
 //! All floating-point comparisons on the incremental paths are
@@ -25,13 +26,14 @@ use std::sync::{Arc, OnceLock};
 
 use accals::conflict::find_solve_conflicts;
 use accals::topset::{obtain_top_set, obtain_top_set_from};
-use accals::{Accals, AccalsConfig, SizeParam, TrialEval};
+use accals::{Accals, AccalsConfig, SizeParam, TrialEval, WindowSpec};
 use aig::{Aig, Lit, NodeId};
 use bitsim::{simulate, ConeTopology, Patterns};
 use errmetrics::{ErrorEval, MetricKind};
 use estimate::{BatchEstimator, MaskCache};
 use lac::{
-    apply_all, generate_candidates, CandidateConfig, CandidateStore, DevMask, Lac, ScoredLac,
+    apply_all, generate_candidates, generate_candidates_windowed_counted, CandidateConfig,
+    CandidateStore, DevMask, Lac, ScoredLac,
 };
 use parkit::ThreadPool;
 use prng::{rngs::StdRng, Rng, SeedableRng};
@@ -90,6 +92,8 @@ pub struct CaseStats {
     pub bdd_checks: usize,
     /// Batched-vs-standalone sweep comparisons performed.
     pub sweeps: usize,
+    /// Windowed-vs-filtered candidate comparisons performed.
+    pub windows: usize,
 }
 
 /// The thread counts every scoring comparison runs at.
@@ -179,6 +183,7 @@ impl<'c> Driver<'c> {
             &self.ccfg,
             self.last_remap.as_deref(),
             pools()[2],
+            None,
         );
         if stored != fresh {
             let detail = describe_list_diff(&stored, &fresh);
@@ -559,6 +564,159 @@ impl<'c> Driver<'c> {
         self.stats.sweeps += 1;
         Ok(())
     }
+
+    /// The windowed-round differential oracle: a window is a pure
+    /// filter, so windowed candidate generation — fresh or served from
+    /// store-carried entries — must equal full generation restricted to
+    /// in-window targets, and a window spanning the whole circuit must
+    /// leave the synthesis flow bit-identical to the dense flow. The
+    /// store-carried comparison is the oracle that catches
+    /// [`Fault::WindowLeak`]: carried out-of-window entries escaping
+    /// the boundary freeze into a windowed round's list.
+    fn window_op(&mut self) -> Result<(), Failure> {
+        if self.current.n_ands() == 0 {
+            return Ok(());
+        }
+        let sim = simulate(&self.current, &self.pats);
+        sim.check_consistent(&self.current)
+            .map_err(|e| self.fail("bitsim/fixpoint", e))?;
+        self.check_graph("window op start", &self.current)?;
+
+        // A random half-density window over the live AND targets
+        // (falling back to the full span when the coin leaves it empty).
+        let live = self.current.live_mask();
+        let n_nodes = self.current.n_nodes();
+        let mut mask = vec![false; n_nodes];
+        let mut any = false;
+        for id in self.current.and_ids() {
+            if live[id.index()] && self.rng.gen_bool(0.5) {
+                mask[id.index()] = true;
+                any = true;
+            }
+        }
+        if !any {
+            for id in self.current.and_ids() {
+                mask[id.index()] = live[id.index()];
+            }
+        }
+
+        // Fresh windowed generation == fresh full generation filtered
+        // to in-window targets.
+        let full = generate_candidates(&self.current, &sim, &self.ccfg);
+        let expected: Vec<Lac> = full
+            .iter()
+            .filter(|l| mask[l.tn.index()])
+            .cloned()
+            .collect();
+        let (windowed, _) =
+            generate_candidates_windowed_counted(&self.current, &sim, &self.ccfg, Some(&mask));
+        if windowed != expected {
+            let detail = describe_list_diff(&windowed, &expected);
+            return Err(self.fail("window/fresh", detail));
+        }
+
+        // Warm the store at the full span, then ask for the windowed
+        // list again with nothing changed: every entry is carried, and
+        // emission alone must enforce the window boundary.
+        let warm = self.store.generate(
+            &self.current,
+            &sim,
+            &self.ccfg,
+            self.last_remap.as_deref(),
+            pools()[2],
+            None,
+        );
+        if warm != full {
+            let detail = describe_list_diff(&warm, &full);
+            return Err(self.fail("window/store-full", detail));
+        }
+        let identity = identity_remap(n_nodes);
+        let stored = self.store.generate(
+            &self.current,
+            &sim,
+            &self.ccfg,
+            Some(identity.as_slice()),
+            pools()[1],
+            Some(&mask),
+        );
+        if stored != expected {
+            let detail = describe_list_diff(&stored, &expected);
+            return Err(self.fail("window/store", detail));
+        }
+        let devs = self.store.devs();
+        if devs.len() != stored.len() {
+            return Err(self.fail(
+                "window/devmask",
+                format!("{} masks for {} candidates", devs.len(), stored.len()),
+            ));
+        }
+        let mut scratch = vec![0u64; sim.stride()];
+        for (lac, dev) in stored.iter().zip(&devs) {
+            let direct = DevMask::of(&sim, lac, &mut scratch);
+            if dev.words != &*direct.words || dev.bits != &*direct.bits {
+                return Err(self.fail(
+                    "window/devmask",
+                    format!("deviation of `{lac}` drifted from direct recomputation"),
+                ));
+            }
+        }
+        self.stats.windows += 1;
+
+        // On small circuits, run a short dense flow and the same flow
+        // with a full-span window: the engine must take the dense path
+        // (no window selection fires) and stay bit-identical — same
+        // trajectory, same final error bits, same area.
+        if self.current.n_ands() <= 64 {
+            let mut krng = StdRng::seed_from_u64(
+                crate::stream_u64(self.case.seed, 0x317d ^ self.op as u64),
+            );
+            let metric = [MetricKind::Er, MetricKind::Nmed][krng.gen_range(0..2usize)];
+            let mut cfg = AccalsConfig::new(metric, 0.004 * (1u32 << krng.gen_range(0..4u32)) as f64);
+            cfg.r_ref = SizeParam::Fixed(12);
+            cfg.r_sel = SizeParam::Fixed(3);
+            cfg.max_rounds = 8;
+            cfg.max_exhaustive = 1 << 10;
+            cfg.n_random_patterns = 128;
+            cfg.seed = crate::stream_u64(self.case.seed, 0x317e ^ self.op as u64);
+            cfg.candidates = self.ccfg.clone();
+            let dense = Accals::new(cfg.clone()).synthesize(&self.current);
+            cfg.window = Some(WindowSpec { max_targets: usize::MAX });
+            let full_win = Accals::new(cfg).synthesize(&self.current);
+            if let Some(r) = sweep::divergence_round(&dense.rounds, &full_win.rounds) {
+                return Err(self.fail(
+                    "window/flow-trajectory",
+                    format!(
+                        "full-span window diverged from dense at round {r} \
+                         (dense {} rounds, windowed {})",
+                        dense.rounds.len(),
+                        full_win.rounds.len()
+                    ),
+                ));
+            }
+            if dense.error.to_bits() != full_win.error.to_bits() {
+                return Err(self.fail(
+                    "window/flow-error",
+                    format!(
+                        "dense {:.17e} vs full-span window {:.17e}",
+                        dense.error, full_win.error
+                    ),
+                ));
+            }
+            if dense.aig.n_ands() != full_win.aig.n_ands() {
+                return Err(self.fail(
+                    "window/flow-area",
+                    format!(
+                        "dense {} gates vs full-span window {}",
+                        dense.aig.n_ands(),
+                        full_win.aig.n_ands()
+                    ),
+                ));
+            }
+        }
+
+        self.last_remap = Some(identity);
+        Ok(())
+    }
 }
 
 /// A small conflict-free candidate set sampled from the scored list.
@@ -698,6 +856,9 @@ fn run_case_inner(case: &FuzzCase, op_at: &std::cell::Cell<usize>) -> Result<Cas
     if case.fault == Fault::StoreStaleArena {
         store.inject_stale_arena_carry(true);
     }
+    if case.fault == Fault::WindowLeak {
+        store.inject_window_leak(true);
+    }
     let mut drv = Driver {
         case,
         op: 0,
@@ -735,6 +896,7 @@ fn run_case_inner(case: &FuzzCase, op_at: &std::cell::Cell<usize>) -> Result<Cas
                     0 => "cleanup",
                     1 => "raw-edit",
                     2 => "sweep",
+                    3 => "window",
                     _ => "round",
                 },
                 drv.current.n_nodes(),
@@ -749,6 +911,7 @@ fn run_case_inner(case: &FuzzCase, op_at: &std::cell::Cell<usize>) -> Result<Cas
             0 => drv.cleanup_only()?,
             1 => drv.raw_edit()?,
             2 => drv.sweep_op()?,
+            3 => drv.window_op()?,
             _ => drv.round()?,
         }
     }

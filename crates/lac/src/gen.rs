@@ -581,7 +581,32 @@ pub fn generate_candidates_counted(
     sim: &Sim,
     cfg: &CandidateConfig,
 ) -> (Vec<Lac>, GenCounters) {
+    generate_candidates_windowed_counted(aig, sim, cfg, None)
+}
+
+/// [`generate_candidates_counted`] restricted to a target window: only
+/// nodes with `window[id.index()]` set generate candidates. Because
+/// each node's candidates are a pure function of `(circuit, sample,
+/// cfg, node)` — see [`generate_candidates`] — the windowed list is
+/// exactly the full list filtered to window targets, in the same
+/// order. Substitute signals may still come from anywhere in the
+/// divisor pool: the window bounds what is *rewritten*, not what is
+/// *read*.
+///
+/// # Panics
+///
+/// Panics if `sim` does not match `aig`, or a window mask shorter than
+/// the node table is supplied.
+pub fn generate_candidates_windowed_counted(
+    aig: &Aig,
+    sim: &Sim,
+    cfg: &CandidateConfig,
+    window: Option<&[bool]>,
+) -> (Vec<Lac>, GenCounters) {
     assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
+    if let Some(w) = window {
+        assert!(w.len() >= aig.n_nodes(), "window mask is stale");
+    }
     let levels = aig.levels().expect("acyclic");
     let live = aig.live_mask();
     let fanouts = Fanouts::build(aig);
@@ -605,6 +630,11 @@ pub fn generate_candidates_counted(
     for id in aig.and_ids() {
         if !live[id.index()] {
             continue;
+        }
+        if let Some(w) = window {
+            if !w[id.index()] {
+                continue;
+            }
         }
         gen_node(&ctx, id, &mut scratch, &mut node, &mut ctrs);
         out.extend_from_slice(&node.cands);

@@ -36,7 +36,10 @@ mod kinds;
 mod store;
 mod strips;
 
-pub use gen::{generate_candidates, generate_candidates_counted, CandidateConfig, GenCounters};
+pub use gen::{
+    generate_candidates, generate_candidates_counted, generate_candidates_windowed_counted,
+    CandidateConfig, GenCounters,
+};
 pub use kinds::{Lac, LacKind};
 pub use store::{CandidateStore, DevMask, DevView, StoreStats};
 

@@ -392,6 +392,14 @@ pub struct CandidateStore {
     /// Test-support fault injection: carry region copies without the
     /// remap rewrite. See [`CandidateStore::inject_stale_arena_carry`].
     stale_arena_carry: bool,
+    /// Window mask of the last generate call (`None` = unwindowed):
+    /// entries outside it are retained across rounds — carried
+    /// wholesale, never regenerated — but excluded from the emitted
+    /// list and [`CandidateStore::devs`].
+    win_mask: Option<Vec<bool>>,
+    /// Test-support fault injection: ignore the window mask at
+    /// emission. See [`CandidateStore::inject_window_leak`].
+    window_leak: bool,
 }
 
 /// The image of an old-revision literal under the cleanup remapping.
@@ -445,6 +453,12 @@ impl CandidateStore {
     /// every entry. Dirty nodes are regenerated on `pool`; results are
     /// independent of the thread count.
     ///
+    /// `window` restricts the round to a target region: only in-window
+    /// nodes are regenerated or emitted (the list equals
+    /// [`crate::generate_candidates_windowed_counted`] on the same
+    /// inputs), while out-of-window entries are carried wholesale for
+    /// later rounds — they cost neither regeneration nor emission.
+    ///
     /// # Panics
     ///
     /// Panics if `sim` does not match `aig`.
@@ -455,8 +469,12 @@ impl CandidateStore {
         cfg: &CandidateConfig,
         remap: Option<&[Option<Lit>]>,
         pool: &'static ThreadPool,
+        window: Option<&[bool]>,
     ) -> Vec<Lac> {
         assert_eq!(sim.n_nodes(), aig.n_nodes(), "simulation is stale");
+        if let Some(w) = window {
+            assert!(w.len() >= aig.n_nodes(), "window mask is stale");
+        }
         self.generation += 1;
         self.stats.rounds += 1;
         self.last_counters = GenCounters::default();
@@ -503,9 +521,15 @@ impl CandidateStore {
         // parallel. gen_node depends only on (ctx, id), so chunking is
         // unobservable in the results: each chunk builds a private
         // mini-arena, and the chunks are appended in dirty order.
+        // Window-scoped regeneration: out-of-window nodes are never
+        // regenerated this round — a dirty one simply stays without an
+        // entry until a later window (or an unwindowed round) reaches
+        // it, while valid out-of-window entries ride through carry
+        // untouched.
+        let in_window = |id: &NodeId| window.is_none_or(|w| w[id.index()]);
         let dirty: Vec<NodeId> = aig
             .and_ids()
-            .filter(|id| live[id.index()] && entries[id.index()].is_none())
+            .filter(|id| live[id.index()] && in_window(id) && entries[id.index()].is_none())
             .collect();
         self.stats.regenerated += dirty.len();
         if !dirty.is_empty() {
@@ -598,10 +622,23 @@ impl CandidateStore {
         self.snap_levels = levels;
         self.snap_live = live;
         self.snap_pool = pool_nodes;
+        // The leak fault drops the emission filter, so carried
+        // out-of-window entries surface in the list — the boundary
+        // violation the fuzz oracle exists to catch.
+        self.win_mask = match window {
+            Some(w) if !self.window_leak => Some(w[..n_new].to_vec()),
+            _ => None,
+        };
 
         let mut out = Vec::with_capacity(self.arena.cands.len());
-        for m in self.entries.iter().flatten() {
+        for (i, m) in self.entries.iter().enumerate() {
+            let Some(m) = m else { continue };
             debug_assert_eq!(m.epoch, self.arena.epoch, "stale entry epoch");
+            if let Some(w) = &self.win_mask {
+                if !w[i] {
+                    continue;
+                }
+            }
             out.extend_from_slice(&self.arena.cands[m.cands.range()]);
         }
         out
@@ -612,8 +649,14 @@ impl CandidateStore {
     /// from the arena (no payload is copied or allocated).
     pub fn devs(&self) -> Vec<DevView<'_>> {
         let mut out = Vec::with_capacity(self.arena.cands.len());
-        for m in self.entries.iter().flatten() {
+        for (i, m) in self.entries.iter().enumerate() {
+            let Some(m) = m else { continue };
             debug_assert_eq!(m.epoch, self.arena.epoch, "stale entry epoch");
+            if let Some(w) = &self.win_mask {
+                if !w[i] {
+                    continue;
+                }
+            }
             for ci in m.cands.range() {
                 let r = self.arena.dev_index[ci];
                 out.push(DevView {
@@ -878,6 +921,8 @@ impl CandidateStore {
             last_counters: self.last_counters,
             skip_fanout_invalidation: self.skip_fanout_invalidation,
             stale_arena_carry: self.stale_arena_carry,
+            win_mask: self.win_mask.clone(),
+            window_leak: self.window_leak,
         }
     }
 
@@ -910,6 +955,16 @@ impl CandidateStore {
     #[doc(hidden)]
     pub fn inject_stale_arena_carry(&mut self, on: bool) {
         self.stale_arena_carry = on;
+    }
+
+    /// Test-support fault injection: when enabled, a windowed
+    /// [`CandidateStore::generate`] ignores the window mask at emission,
+    /// so entries carried for out-of-window (frozen-boundary) nodes leak
+    /// into the returned list — the boundary-freeze violation the
+    /// `fuzzkit` window oracle must catch. Never enable outside tests.
+    #[doc(hidden)]
+    pub fn inject_window_leak(&mut self, on: bool) {
+        self.window_leak = on;
     }
 }
 
@@ -963,7 +1018,7 @@ mod tests {
         let fresh = generate_candidates(&g, &sim, &cfg);
         for threads in [1, 4] {
             let mut store = CandidateStore::new();
-            let got = store.generate(&g, &sim, &cfg, None, leaked_pool(threads));
+            let got = store.generate(&g, &sim, &cfg, None, leaked_pool(threads), None);
             assert_eq!(got, fresh, "threads={threads}");
             assert_eq!(store.devs().len(), got.len());
         }
@@ -976,7 +1031,7 @@ mod tests {
         let sim0 = simulate(&g0, &pats);
         let cfg = CandidateConfig::default();
         let mut store = CandidateStore::new();
-        let cands0 = store.generate(&g0, &sim0, &cfg, None, leaked_pool(2));
+        let cands0 = store.generate(&g0, &sim0, &cfg, None, leaked_pool(2), None);
         assert!(!cands0.is_empty());
 
         // Apply a wire LAC at the latest target (smallest transitive
@@ -992,7 +1047,7 @@ mod tests {
         let remap = g1.cleanup().unwrap();
         let sim1 = simulate(&g1, &pats);
 
-        let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(2));
+        let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(2), None);
         let fresh = generate_candidates(&g1, &sim1, &cfg);
         assert_eq!(rolled, fresh);
         let stats = store.stats();
@@ -1037,7 +1092,7 @@ mod tests {
         let sim = simulate(&g, &pats);
         let cfg = CandidateConfig::default();
         let mut store = CandidateStore::new();
-        store.generate(&g, &sim, &cfg, None, leaked_pool(1));
+        store.generate(&g, &sim, &cfg, None, leaked_pool(1), None);
         assert_eq!(store.entry_born(x.node()), Some(1));
         assert_eq!(store.entry_born(w.node()), Some(1));
 
@@ -1049,7 +1104,7 @@ mod tests {
         .unwrap();
         let remap = g1.cleanup().unwrap();
         let sim1 = simulate(&g1, &pats);
-        let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(1));
+        let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(1), None);
         assert_eq!(rolled, generate_candidates(&g1, &sim1, &cfg));
 
         let x1 = remap[x.node().index()].unwrap().node();
@@ -1097,7 +1152,7 @@ mod tests {
             let cfg = CandidateConfig::default();
             let mut store = CandidateStore::new();
             store.inject_stale_arena_carry(fault);
-            store.generate(&g, &sim, &cfg, None, leaked_pool(1));
+            store.generate(&g, &sim, &cfg, None, leaked_pool(1), None);
             let mut g1 = g.clone();
             crate::apply(
                 &mut g1,
@@ -1109,7 +1164,7 @@ mod tests {
             // would be unobservable by construction.
             assert_ne!(remap[w.node().index()].unwrap().node(), w.node());
             let sim1 = simulate(&g1, &pats);
-            let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(1));
+            let rolled = store.generate(&g1, &sim1, &cfg, Some(&remap), leaked_pool(1), None);
             let fresh = generate_candidates(&g1, &sim1, &cfg);
             assert!(
                 store.stats().carried > 0,
@@ -1133,12 +1188,12 @@ mod tests {
         let pats = Patterns::exhaustive(8);
         let sim = simulate(&g, &pats);
         let mut store = CandidateStore::new();
-        store.generate(&g, &sim, &CandidateConfig::default(), None, leaked_pool(1));
+        store.generate(&g, &sim, &CandidateConfig::default(), None, leaked_pool(1), None);
         let altered = CandidateConfig { k_wire: 5, ..CandidateConfig::default() };
         let identity: Vec<Option<Lit>> = (0..g.n_nodes())
             .map(|i| Some(Lit::new(NodeId::new(i), false)))
             .collect();
-        let got = store.generate(&g, &sim, &altered, Some(&identity), leaked_pool(1));
+        let got = store.generate(&g, &sim, &altered, Some(&identity), leaked_pool(1), None);
         assert_eq!(got, generate_candidates(&g, &sim, &altered));
         assert_eq!(store.stats().flushes, 1);
     }

@@ -28,13 +28,30 @@ pub const THREADS_ENV: &str = "ACCALS_THREADS";
 
 /// The thread count the [`global`] pool uses: `ACCALS_THREADS` if set to
 /// a positive integer, otherwise the machine's available parallelism.
+/// A set-but-malformed value (empty, non-numeric, or zero) falls back
+/// to the default with a warning on stderr rather than silently — a
+/// typo'd `ACCALS_THREADS=1O` changing a benchmark's thread count is
+/// exactly the kind of surprise a measurement run cannot afford.
 pub fn configured_threads() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => default_threads(),
-        },
-        Err(_) => default_threads(),
+    parse_thread_env(THREADS_ENV, std::env::var(THREADS_ENV).ok().as_deref(), default_threads())
+}
+
+/// Parses a thread-count environment override: `raw` is the variable's
+/// value (`None` when unset), `default` the fallback. Malformed values
+/// — anything but a positive integer — warn once on stderr, naming the
+/// variable and the value, and return `default`. Pure in its inputs so
+/// the policy is unit-testable without touching process environment.
+pub fn parse_thread_env(var: &str, raw: Option<&str>, default: usize) -> usize {
+    let Some(raw) = raw else { return default };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!(
+                "warning: {var}={raw:?} is not a positive integer; \
+                 using default of {default} threads"
+            );
+            default
+        }
     }
 }
 
@@ -459,5 +476,27 @@ mod tests {
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
         assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn parse_thread_env_accepts_positive_integers() {
+        assert_eq!(parse_thread_env("T", Some("1"), 8), 1);
+        assert_eq!(parse_thread_env("T", Some("16"), 8), 16);
+        assert_eq!(parse_thread_env("T", Some("  4 "), 8), 4);
+    }
+
+    #[test]
+    fn parse_thread_env_unset_uses_default_silently() {
+        assert_eq!(parse_thread_env("T", None, 8), 8);
+    }
+
+    #[test]
+    fn parse_thread_env_malformed_falls_back_to_default() {
+        // Each of these should also warn on stderr; the policy under
+        // test here is the fallback, which must never produce a zero
+        // or a surprising thread count.
+        for bad in ["", "  ", "0", "-2", "1O", "sixteen", "4.5", "1e3"] {
+            assert_eq!(parse_thread_env("T", Some(bad), 8), 8, "value {bad:?}");
+        }
     }
 }

@@ -84,15 +84,14 @@ pub const SWEEP_THREADS_ENV: &str = "ACCALS_SWEEP_THREADS";
 
 /// The worker count a default-configured sweep uses:
 /// `ACCALS_SWEEP_THREADS` if set to a positive integer, otherwise
-/// whatever [`parkit::configured_threads`] reports.
+/// whatever [`parkit::configured_threads`] reports. Malformed values
+/// warn on stderr and fall back (see [`parkit::parse_thread_env`]).
 pub fn configured_sweep_threads() -> usize {
-    match std::env::var(SWEEP_THREADS_ENV) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => parkit::configured_threads(),
-        },
-        Err(_) => parkit::configured_threads(),
-    }
+    parkit::parse_thread_env(
+        SWEEP_THREADS_ENV,
+        std::env::var(SWEEP_THREADS_ENV).ok().as_deref(),
+        parkit::configured_threads(),
+    )
 }
 
 /// The process-wide serial pool handed to instances when every thread
@@ -803,6 +802,7 @@ mod tests {
             candgen_strip_cmps: 0,
             candgen_pool_hits: 0,
             candgen_pool_misses: 0,
+            window_targets: 0,
         }
     }
 

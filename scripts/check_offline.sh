@@ -28,7 +28,7 @@ if cargo clippy --version >/dev/null 2>&1; then
     echo "== lint (offline): cargo clippy -D warnings =="
     cargo clippy --offline -p aig -p bitsim -p errmetrics -p lac \
         -p estimate -p accals -p accals-bench -p fuzzkit \
-        -p parkit -p sweep -- -D warnings
+        -p parkit -p sweep -p benchgen -p circuitio -- -D warnings
 else
     echo "== lint: cargo clippy not installed, skipping =="
 fi
@@ -52,6 +52,13 @@ cargo run --release --offline -p accals-bench --bin bench_estimate -- --smoke
 # bit-for-bit at every worker count.
 echo "== bench smoke (offline): bench_sweep --smoke =="
 cargo run --release --offline -p accals-bench --bin bench_sweep -- --smoke
+
+# Windowed-round smoke: a full-span window must run bit-identically to
+# the dense flow, and a strict sub-window flow must be deterministic
+# across thread counts, meet its error bound, and actually restrict
+# its rounds.
+echo "== bench smoke (offline): bench_window --smoke =="
+cargo run --release --offline -p accals-bench --bin bench_window -- --smoke
 
 # Fixed-seed smoke fuzz: a short deterministic soak of the differential
 # oracles (mask cache, candidate store, trial eval, BDD exact error) —

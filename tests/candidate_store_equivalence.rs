@@ -70,7 +70,7 @@ fn assert_rounds_equivalent(name: &str, kind: MetricKind, threads: usize, n_roun
         eval.rebase(&sim.output_sigs(&current));
 
         let fresh = generate_candidates(&current, &sim, &cfg);
-        let rolled = store.generate(&current, &sim, &cfg, remap.as_deref(), pool);
+        let rolled = store.generate(&current, &sim, &cfg, remap.as_deref(), pool, None);
         assert_eq!(fresh, rolled, "{}: candidate lists differ", what(round));
 
         // The arena-held deviation payloads (carried regions included)
